@@ -1,0 +1,73 @@
+// Command cellgen builds and inspects binary cell-configuration blobs —
+// the .cell files Jailhouse's CELL_CREATE hypercall consumes.
+//
+// Usage:
+//
+//	cellgen dump             # print the built-in configurations
+//	cellgen emit  <file>     # write the FreeRTOS cell blob
+//	cellgen parse <file>     # validate and print a blob
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/dessertlab/certify/internal/jailhouse"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cellgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cellgen dump | emit <file> | parse <file>")
+	}
+	switch args[0] {
+	case "dump":
+		dumpConfig("root cell (system config)", &jailhouse.DefaultSystemConfig().RootCell)
+		dumpConfig("freertos-cell", jailhouse.FreeRTOSCellConfig())
+		return nil
+	case "emit":
+		if len(args) < 2 {
+			return fmt.Errorf("emit needs a target file")
+		}
+		blob := jailhouse.FreeRTOSCellConfig().Marshal()
+		if err := os.WriteFile(args[1], blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(blob), args[1])
+		return nil
+	case "parse":
+		if len(args) < 2 {
+			return fmt.Errorf("parse needs a source file")
+		}
+		blob, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		cfg, err := jailhouse.UnmarshalCellConfig(blob)
+		if err != nil {
+			return fmt.Errorf("invalid blob: %w", err)
+		}
+		dumpConfig(args[1], cfg)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func dumpConfig(label string, cfg *jailhouse.CellConfig) {
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  name:    %s\n", cfg.Name)
+	fmt.Printf("  cpus:    %v (bitmap %#x)\n", cfg.CPUs(), cfg.CPUSet)
+	fmt.Printf("  console: %#x\n", cfg.ConsoleBase)
+	fmt.Printf("  regions (%d):\n", len(cfg.MemRegions))
+	for _, r := range cfg.MemRegions {
+		fmt.Printf("    %v\n", r)
+	}
+	fmt.Printf("  irq lines: %v\n", cfg.IRQLines)
+}

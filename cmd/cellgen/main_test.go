@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDump(t *testing.T) {
+	if err := run([]string{"dump"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "freertos.cell")
+	if err := run([]string{"emit", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse", path}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted blob must be rejected.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 'X'
+	bad := filepath.Join(t.TempDir(), "bad.cell")
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse", bad}); err == nil {
+		t.Fatal("corrupted blob accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"emit"}); err == nil {
+		t.Fatal("emit without file accepted")
+	}
+	if err := run([]string{"parse"}); err == nil {
+		t.Fatal("parse without file accepted")
+	}
+	if err := run([]string{"parse", "/nonexistent/x.cell"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"wat"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

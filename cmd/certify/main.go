@@ -1,0 +1,252 @@
+// Command certify is the framework's CLI: golden-run profiling, single
+// fault-injection runs, full campaigns and SEooC assessment reports —
+// the command-line face of the paper's testing methodology.
+//
+// Usage:
+//
+//	certify golden   [-seed N] [-duration 60s]
+//	certify inject   [-plan E3-fig3 | -planfile f] [-seed N] [-verbose]
+//	certify campaign [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
+//	                 [-csv] [-ci] [-out dir]
+//	certify report   [-runs 30] [-seed N]
+//	certify plans
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dessertlab/certify/internal/analytics"
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// resolvePlan loads a plan from -planfile when given, else by name.
+func resolvePlan(name, file string) (*core.TestPlan, error) {
+	if file != "" {
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return core.ParsePlan(string(text))
+	}
+	return lookupPlan(name)
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "certify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "golden":
+		return cmdGolden(args[1:])
+	case "inject":
+		return cmdInject(args[1:])
+	case "campaign":
+		return cmdCampaign(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "plans":
+		return cmdPlans()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `certify — fault-injection assessment of a partitioning hypervisor
+subcommands:
+  golden     profile a fault-free run (injection-point activation counts)
+  inject     execute one fault-injection run and print its verdict
+  campaign   run a full campaign and print the outcome distribution
+  report     run the standard campaigns and emit the SEooC dossier
+  plans      list the built-in test plans`)
+}
+
+// namedPlans maps CLI names to the built-in plans.
+func namedPlans() map[string]*core.TestPlan {
+	return map[string]*core.TestPlan{
+		"E1-hvc":     core.PlanE1HVC(),
+		"E1-trap":    core.PlanE1Trap(),
+		"E2-core1":   core.PlanE2Core1(),
+		"E3-fig3":    core.PlanE3Fig3(),
+		"A3-irqchip": core.PlanA3IRQ(),
+	}
+}
+
+func lookupPlan(name string) (*core.TestPlan, error) {
+	if p, ok := namedPlans()[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown plan %q (see 'certify plans')", name)
+}
+
+func cmdPlans() error {
+	for _, name := range []string{"E1-hvc", "E1-trap", "E2-core1", "E3-fig3", "A3-irqchip"} {
+		p := namedPlans()[name]
+		fmt.Println(" ", p)
+	}
+	return nil
+}
+
+func cmdGolden(args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 2022, "run seed")
+	duration := fs.Duration("duration", time.Minute, "virtual run duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gp, err := core.GoldenRun(*seed, sim.Time(*duration))
+	if err != nil {
+		return err
+	}
+	fmt.Print(analytics.ActivationTable(gp))
+	fmt.Printf("trace hash: %#x (replays bit-identically for seed %d)\n", gp.TraceHash, *seed)
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ContinueOnError)
+	planName := fs.String("plan", "E3-fig3", "test plan name")
+	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	seed := fs.Uint64("seed", 1, "run seed")
+	verbose := fs.Bool("verbose", false, "print consoles and injection log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := resolvePlan(*planName, *planFile)
+	if err != nil {
+		return err
+	}
+	res, err := core.RunExperiment(plan, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %s, seed %#x → %v\n", res.Plan, res.Seed, res.Outcome())
+	for _, e := range res.Verdict.Evidence {
+		fmt.Println("  evidence:", e)
+	}
+	fmt.Printf("  injections: %d over %d matching calls\n", len(res.Injections), totalCalls(res))
+	for _, rec := range res.Injections {
+		fmt.Println("   ", rec)
+	}
+	if *verbose {
+		fmt.Println("--- root console ---")
+		fmt.Print(res.RootTranscript)
+		fmt.Println("--- cell console ---")
+		fmt.Print(res.CellTranscript)
+		fmt.Println("--- hypervisor console ---")
+		for _, l := range res.HVConsole {
+			fmt.Println(l)
+		}
+	}
+	return nil
+}
+
+func totalCalls(res *core.RunResult) uint64 {
+	var n uint64
+	for _, c := range res.CallCounts {
+		n += c
+	}
+	return n
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	planName := fs.String("plan", "E3-fig3", "test plan name")
+	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	runs := fs.Int("runs", 100, "number of runs")
+	seed := fs.Uint64("seed", 2022, "master seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
+	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
+	outDir := fs.String("out", "", "directory to write per-run JSON artefacts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := resolvePlan(*planName, *planFile)
+	if err != nil {
+		return err
+	}
+	fmt.Println("plan:", plan)
+	c := &core.Campaign{Plan: plan, Runs: *runs, MasterSeed: *seed}
+	res, err := c.Execute(context.Background())
+	if err != nil {
+		return err
+	}
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir, res); err != nil {
+			return err
+		}
+	}
+	d := analytics.FromCampaign(plan.Name, res)
+	if *csv {
+		fmt.Print(d.CSV())
+		return nil
+	}
+	if *ci {
+		fmt.Print(d.TableWithCI())
+		fmt.Println()
+	}
+	fmt.Print(d.Bars(50))
+	fmt.Println()
+	fmt.Print(analytics.InjectionSummary(res))
+	return nil
+}
+
+// writeArtifacts dumps one JSON per run plus the campaign summary — the
+// "log file" directory of the paper's rig, machine-readable.
+func writeArtifacts(dir string, res *core.CampaignResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, run := range res.Runs {
+		data, err := run.ExportJSON()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s/run-%04d-seed-%x.json", dir, i, run.Seed)
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return err
+		}
+	}
+	summary, err := res.ExportJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(dir+"/campaign.json", summary, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d run artefacts + campaign.json to %s\n", len(res.Runs), dir)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	runs := fs.Int("runs", 30, "runs per campaign")
+	seed := fs.Uint64("seed", 2022, "master seed")
+	duration := fs.Duration("duration", time.Minute, "virtual run duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := core.QuickAssessment(*seed, *runs, sim.Time(*duration))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Render())
+	return nil
+}

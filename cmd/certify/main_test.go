@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+}
+
+func TestCmdPlansListsAll(t *testing.T) {
+	if err := cmdPlans(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"E1-hvc", "E1-trap", "E2-core1", "E3-fig3", "A3-irqchip"} {
+		if _, err := lookupPlan(name); err != nil {
+			t.Fatalf("lookupPlan(%q): %v", name, err)
+		}
+	}
+	if _, err := lookupPlan("nope"); err == nil {
+		t.Fatal("unknown plan accepted")
+	}
+}
+
+func TestCmdGolden(t *testing.T) {
+	if err := cmdGolden([]string{"-seed", "3", "-duration", "5s"}); err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if err := cmdGolden([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCmdInject(t *testing.T) {
+	if err := cmdInject([]string{"-plan", "E3-fig3", "-seed", "7"}); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if err := cmdInject([]string{"-plan", "missing"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown plan") {
+		t.Fatalf("bad plan error = %v", err)
+	}
+}
+
+func TestCmdCampaignSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	if err := cmdCampaign([]string{"-plan", "E3-fig3", "-runs", "5", "-csv"}); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+}
+
+func TestCmdReportSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	if err := cmdReport([]string{"-runs", "4", "-duration", "10s"}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+}
+
+func TestCmdCampaignArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	dir := t.TempDir()
+	if err := cmdCampaign([]string{"-plan", "E3-fig3", "-runs", "3", "-out", dir, "-csv"}); err != nil {
+		t.Fatalf("campaign with -out: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 3 runs + campaign.json
+		t.Fatalf("artefacts = %d, want 4", len(entries))
+	}
+}

@@ -1,0 +1,60 @@
+// High intensity: reproduce the paper's E1 and E2 prose results.
+//
+//	E1 — multi-register flips in the root cell's hypercall path: the
+//	     management calls fail with "Invalid argument" and the cell is
+//	     not allocated (safe, expected behaviour).
+//	E2 — the same faults filtered to CPU core 1: the cell is allocated
+//	     but broken — blank USART — while Jailhouse reports it RUNNING;
+//	     destroying it still returns the CPU to the root cell.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/dessertlab/certify/internal/analytics"
+	"github.com/dessertlab/certify/internal/core"
+)
+
+func main() {
+	runs := flag.Int("runs", 60, "campaign size per experiment")
+	seed := flag.Uint64("seed", 99, "master seed")
+	flag.Parse()
+
+	var dists []*analytics.Distribution
+	for _, plan := range []*core.TestPlan{core.PlanE1HVC(), core.PlanE1Trap(), core.PlanE2Core1()} {
+		c := &core.Campaign{Plan: plan, Runs: *runs, MasterSeed: *seed}
+		res, err := c.Execute(context.Background())
+		if err != nil {
+			log.Fatalf("campaign %s: %v", plan.Name, err)
+		}
+		dists = append(dists, analytics.FromCampaign(plan.Name, res))
+
+		if plan.Name == "E2-core1" {
+			showInconsistentRun(res)
+		}
+	}
+
+	fmt.Println("High-intensity experiment families (E1 root context, E2 core 1):")
+	fmt.Println()
+	fmt.Print(analytics.CompareTable(dists))
+}
+
+// showInconsistentRun prints the E2 signature from one run: the watchdog
+// reporting RUNNING against a silent cell console.
+func showInconsistentRun(res *core.CampaignResult) {
+	for _, run := range res.Runs {
+		if run.Outcome() != core.OutcomeInconsistent {
+			continue
+		}
+		fmt.Printf("E2 inconsistent run (seed %#x):\n", run.Seed)
+		for _, e := range run.Verdict.Evidence {
+			fmt.Println("  evidence:", e)
+		}
+		fmt.Println("  cell console lines:", run.CellLines)
+		return
+	}
+	fmt.Println("(no inconsistent run in this batch — increase -runs)")
+}

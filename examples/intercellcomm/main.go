@@ -1,0 +1,61 @@
+// Inter-cell communication: demonstrate the ivshmem device model — the
+// one sanctioned channel across the partition boundary (paper §II.A).
+// The root cell and the FreeRTOS cell exchange a message through the
+// shared window and ring each other's doorbells; a third party's ring
+// attempt is rejected, showing the isolation discipline extends to the
+// communication path itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/memmap"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func main() {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(7))
+	if err != nil {
+		log.Fatalf("build machine: %v", err)
+	}
+	m.Run(sim.Second)
+
+	shared := memmap.Region{
+		Phys: jailhouse.CommRegionBase, Virt: jailhouse.CommRegionBase,
+		Size:  jailhouse.CommRegionSize,
+		Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagRootShared,
+	}
+	link, err := m.HV.AddIvshmem(0, m.CellID, shared, 60, 61)
+	if err != nil {
+		log.Fatalf("ivshmem setup: %v", err)
+	}
+	fmt.Println("ivshmem link established between banana-pi and freertos-cell")
+
+	// Root writes a message into the shared window and rings.
+	const msg = 0xCAFE0001
+	if err := m.HV.GuestWrite32(0, shared.Virt, msg); err != nil {
+		log.Fatalf("shared write: %v", err)
+	}
+	if err := m.HV.Ring(link, 0); err != nil {
+		log.Fatalf("ring: %v", err)
+	}
+	m.Run(10 * sim.Millisecond)
+
+	// The cell reads the same word through its own stage-2 mapping.
+	v, err := m.HV.GuestRead32(1, shared.Virt)
+	if err != nil {
+		log.Fatalf("shared read: %v", err)
+	}
+	fmt.Printf("freertos cell read %#x from the shared window (sent %#x)\n", v, msg)
+
+	// Isolation: a non-peer cannot use the link.
+	if err := m.HV.Ring(link, 99); err != nil {
+		fmt.Println("third-party ring rejected:", err)
+	}
+
+	a, b := link.Rings()
+	fmt.Printf("doorbell counts: root→cell %d, cell→root %d\n", a, b)
+}

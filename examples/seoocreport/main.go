@@ -1,0 +1,31 @@
+// SEooC report: run the standard assessment campaigns and emit the
+// ISO 26262-flavoured evidence dossier — the certification-facing output
+// that answers the paper's question: can this hypervisor be integrated
+// as a Safety Element out of Context?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func main() {
+	runs := flag.Int("runs", 30, "runs per assessment campaign")
+	seed := flag.Uint64("seed", 2022, "master seed")
+	short := flag.Bool("short", true, "use 20s virtual runs instead of the paper's 60s")
+	flag.Parse()
+
+	duration := sim.Time(0) // paper default: one minute
+	if *short {
+		duration = 20 * sim.Second
+	}
+	report, err := core.QuickAssessment(*seed, *runs, duration)
+	if err != nil {
+		log.Fatalf("assessment: %v", err)
+	}
+	fmt.Print(report.Render())
+}

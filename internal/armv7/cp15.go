@@ -1,0 +1,89 @@
+package armv7
+
+import "fmt"
+
+// CP15 register addressing: the (opc1, CRn, CRm, opc2) tuple of the
+// MCR/MRC instruction, as encoded in the HSR ISS for EC 0x03.
+type CP15Reg struct {
+	Opc1, CRn, CRm, Opc2 uint32
+}
+
+// Well-known CP15 registers a hypervisor typically traps or emulates.
+var (
+	CP15MIDR   = CP15Reg{0, 0, 0, 0} // main ID
+	CP15CTR    = CP15Reg{0, 0, 0, 1} // cache type
+	CP15MPIDR  = CP15Reg{0, 0, 0, 5} // multiprocessor affinity
+	CP15IDPFR0 = CP15Reg{0, 0, 1, 0} // processor feature 0
+	CP15CCSIDR = CP15Reg{1, 0, 0, 0} // current cache size ID
+	CP15CLIDR  = CP15Reg{1, 0, 0, 1} // cache level ID
+	CP15ACTLR  = CP15Reg{0, 1, 0, 1} // auxiliary control (write-sensitive)
+)
+
+// String renders the register in the assembler's p15 operand order.
+func (r CP15Reg) String() string {
+	return fmt.Sprintf("p15,%d,c%d,c%d,%d", r.Opc1, r.CRn, r.CRm, r.Opc2)
+}
+
+// CP15 ISS field layout (EC 0x03, MCR/MRC 32-bit).
+const (
+	cp15Opc2Shift = 17
+	cp15Opc1Shift = 14
+	cp15CRnShift  = 10
+	cp15RtShift   = 5
+	cp15CRmShift  = 1
+	cp15ReadBit   = 1 << 0 // direction: 1 = MRC (read)
+)
+
+// BuildCP15ISS encodes a trapped MCR/MRC access into an ISS value.
+func BuildCP15ISS(reg CP15Reg, rt int, read bool) uint32 {
+	iss := (reg.Opc2&0x7)<<cp15Opc2Shift |
+		(reg.Opc1&0x7)<<cp15Opc1Shift |
+		(reg.CRn&0xF)<<cp15CRnShift |
+		(uint32(rt)&0xF)<<cp15RtShift |
+		(reg.CRm&0xF)<<cp15CRmShift
+	if read {
+		iss |= cp15ReadBit
+	}
+	return iss
+}
+
+// DecodeCP15 parses a CP15 ISS into the register tuple, the transfer
+// register and the direction.
+func DecodeCP15(iss uint32) (reg CP15Reg, rt int, read bool) {
+	reg = CP15Reg{
+		Opc2: (iss >> cp15Opc2Shift) & 0x7,
+		Opc1: (iss >> cp15Opc1Shift) & 0x7,
+		CRn:  (iss >> cp15CRnShift) & 0xF,
+		CRm:  (iss >> cp15CRmShift) & 0xF,
+	}
+	rt = int((iss >> cp15RtShift) & 0xF)
+	read = iss&cp15ReadBit != 0
+	return reg, rt, read
+}
+
+// CP15Value returns the architecturally correct read value of an
+// emulated CP15 register for the given CPU, and whether the register is
+// one the model implements. Unimplemented registers read as zero
+// (RAZ), the hardening default a hypervisor applies to filtered IDs.
+func CP15Value(c *CPU, reg CP15Reg) (uint32, bool) {
+	switch reg {
+	case CP15MIDR:
+		return c.MIDR, true
+	case CP15MPIDR:
+		return c.MPIDR, true
+	case CP15CTR:
+		// Cortex-A7 CTR: 64-byte cache lines, VIPT.
+		return 0x84448003, true
+	case CP15IDPFR0:
+		// ARM/Thumb state support.
+		return 0x00001131, true
+	case CP15CCSIDR:
+		// 32 KiB 4-way L1D, 64-byte lines.
+		return 0x700FE01A, true
+	case CP15CLIDR:
+		// L1 separate I/D, L2 unified.
+		return 0x0A200023, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,35 @@
+package armv7
+
+import "testing"
+
+func TestCP15ISSRoundTrip(t *testing.T) {
+	for _, reg := range []CP15Reg{CP15MIDR, CP15MPIDR, CP15CCSIDR, CP15ACTLR} {
+		for _, rt := range []int{0, 7, 12} {
+			for _, read := range []bool{true, false} {
+				iss := BuildCP15ISS(reg, rt, read)
+				gotReg, gotRt, gotRead := DecodeCP15(iss)
+				if gotReg != reg || gotRt != rt || gotRead != read {
+					t.Fatalf("roundtrip %v/%d/%v → %v/%d/%v", reg, rt, read, gotReg, gotRt, gotRead)
+				}
+			}
+		}
+	}
+}
+
+func TestCP15Values(t *testing.T) {
+	c := NewCPU(1)
+	v, ok := CP15Value(c, CP15MPIDR)
+	if !ok || v != c.MPIDR {
+		t.Fatalf("MPIDR = %#x ok=%v", v, ok)
+	}
+	v, ok = CP15Value(c, CP15MIDR)
+	if !ok || v != 0x410FC075 {
+		t.Fatalf("MIDR = %#x", v)
+	}
+	if _, ok := CP15Value(c, CP15ACTLR); ok {
+		t.Fatal("ACTLR must be unimplemented (RAZ)")
+	}
+	if CP15MIDR.String() != "p15,0,c0,c0,0" {
+		t.Fatalf("String = %q", CP15MIDR.String())
+	}
+}

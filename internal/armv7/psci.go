@@ -1,0 +1,64 @@
+package armv7
+
+import "fmt"
+
+// PSCI (Power State Coordination Interface) function identifiers, SMC32
+// calling convention. Jailhouse traps guests' PSCI calls and implements
+// CPU on/off itself: this is the "swap feature of the CPU hot plug" the
+// paper mentions — the root cell offlines a core via PSCI CPU_OFF, the
+// hypervisor reassigns it, and the new cell brings it up via CPU_ON.
+const (
+	PSCIVersion      uint32 = 0x84000000
+	PSCICPUSuspend   uint32 = 0x84000001
+	PSCICPUOff       uint32 = 0x84000002
+	PSCICPUOn        uint32 = 0x84000003
+	PSCIAffinityInfo uint32 = 0x84000004
+	PSCISystemOff    uint32 = 0x84000008
+	PSCISystemReset  uint32 = 0x84000009
+	PSCIFeatures     uint32 = 0x8400000A
+)
+
+// PSCI return codes (ARM DEN 0022).
+const (
+	PSCIRetSuccess       int32 = 0
+	PSCIRetNotSupported  int32 = -1
+	PSCIRetInvalidParams int32 = -2
+	PSCIRetDenied        int32 = -3
+	PSCIRetAlreadyOn     int32 = -4
+	PSCIRetOnPending     int32 = -5
+	PSCIRetInternalFail  int32 = -6
+	PSCIRetNotPresent    int32 = -7
+	PSCIRetDisabled      int32 = -8
+)
+
+// PSCIVersionValue is the version this model reports: PSCI 0.2.
+const PSCIVersionValue uint32 = 0x00000002
+
+// IsPSCICall reports whether an SMC/HVC function id is in the PSCI space.
+func IsPSCICall(fn uint32) bool {
+	return fn >= PSCIVersion && fn <= PSCIVersion+0x1F
+}
+
+// PSCIName returns the mnemonic for a PSCI function id.
+func PSCIName(fn uint32) string {
+	switch fn {
+	case PSCIVersion:
+		return "PSCI_VERSION"
+	case PSCICPUSuspend:
+		return "CPU_SUSPEND"
+	case PSCICPUOff:
+		return "CPU_OFF"
+	case PSCICPUOn:
+		return "CPU_ON"
+	case PSCIAffinityInfo:
+		return "AFFINITY_INFO"
+	case PSCISystemOff:
+		return "SYSTEM_OFF"
+	case PSCISystemReset:
+		return "SYSTEM_RESET"
+	case PSCIFeatures:
+		return "PSCI_FEATURES"
+	default:
+		return fmt.Sprintf("PSCI(%#x)", fn)
+	}
+}

@@ -1,0 +1,192 @@
+// Package board models the paper's test hardware: a Banana Pi M1
+// (Allwinner A20 SoC — two Cortex-A7 cores, 1 GiB DRAM, 16550-class
+// UARTs, a GIC-400 interrupt controller and the LED GPIO bank). The board
+// is a passive substrate: the hypervisor and guests drive the CPUs; the
+// board provides the physical address map, the devices and per-CPU timers.
+package board
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/gic"
+	"github.com/dessertlab/certify/internal/gpio"
+	"github.com/dessertlab/certify/internal/memmap"
+	"github.com/dessertlab/certify/internal/sim"
+	"github.com/dessertlab/certify/internal/uart"
+)
+
+// Physical address map of the modelled Allwinner A20.
+const (
+	DRAMBase uint64 = 0x4000_0000
+	DRAMSize uint64 = 1 << 30 // 1 GiB
+
+	GPIOBase  uint64 = 0x01C2_0800
+	GPIOSize  uint64 = 0x400
+	UART0Base uint64 = 0x01C2_8000 // root cell console
+	UART7Base uint64 = 0x01C2_9C00 // non-root cell console ("USART" in the paper)
+	GICDBase  uint64 = 0x01C8_1000 // distributor (trap-and-emulate for cells)
+	GICCBase  uint64 = 0x01C8_2000 // CPU interface
+)
+
+// Interrupt lines on the modelled SoC.
+const (
+	IRQUart0 = 33
+	IRQUart7 = 52
+)
+
+// NumCPUs is the Banana Pi M1's core count.
+const NumCPUs = 2
+
+// mmioRange maps a physical window to device handlers.
+type mmioRange struct {
+	name  string
+	base  uint64
+	size  uint64
+	read  func(cpu int, off uint64) (uint32, error)
+	write func(cpu int, off uint64, v uint32) error
+}
+
+// BusFault reports a physical access that hit no device and no RAM —
+// an external abort on real hardware.
+type BusFault struct {
+	Addr  uint64
+	Write bool
+}
+
+// Error implements error.
+func (b *BusFault) Error() string {
+	op := "read"
+	if b.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("board: bus fault on %s at %#x", op, b.Addr)
+}
+
+// Timer is a per-CPU generic timer that raises the virtual-timer PPI.
+type Timer struct {
+	cancel func()
+}
+
+// Board is one simulated Banana Pi M1.
+type Board struct {
+	Engine *sim.Engine
+	CPUs   []*armv7.CPU
+	RAM    *memmap.RAM
+	GIC    *gic.Distributor
+	UART0  *uart.UART
+	UART7  *uart.UART
+	GPIO   *gpio.Port
+
+	timers []Timer
+	mmio   []mmioRange
+}
+
+// New builds a powered-on board with the given deterministic seed.
+func New(seed uint64) *Board {
+	eng := sim.NewEngine(seed)
+	b := &Board{
+		Engine: eng,
+		RAM:    memmap.NewRAM(DRAMBase, DRAMSize),
+		GIC:    gic.New(NumCPUs),
+		UART0:  uart.New("uart0", eng.Now),
+		UART7:  uart.New("uart7", eng.Now),
+		GPIO:   gpio.New(eng.Now),
+		timers: make([]Timer, NumCPUs),
+	}
+	for i := 0; i < NumCPUs; i++ {
+		b.CPUs = append(b.CPUs, armv7.NewCPU(i))
+	}
+	b.addMMIO("uart0", UART0Base, uart.RegionSize,
+		func(_ int, off uint64) (uint32, error) { return b.UART0.ReadReg(off) },
+		func(_ int, off uint64, v uint32) error { return b.UART0.WriteReg(off, v) })
+	b.addMMIO("uart7", UART7Base, uart.RegionSize,
+		func(_ int, off uint64) (uint32, error) { return b.UART7.ReadReg(off) },
+		func(_ int, off uint64, v uint32) error { return b.UART7.WriteReg(off, v) })
+	b.addMMIO("gicd", GICDBase, gic.RegionSize,
+		func(_ int, off uint64) (uint32, error) { return b.GIC.ReadReg(off) },
+		func(cpu int, off uint64, v uint32) error { return b.GIC.WriteReg(off, v, cpu) })
+	b.addMMIO("gpio", GPIOBase, GPIOSize,
+		func(_ int, off uint64) (uint32, error) {
+			if b.GPIO.Get(gpio.LEDGreen) {
+				return 1, nil
+			}
+			return 0, nil
+		},
+		func(_ int, off uint64, v uint32) error {
+			b.GPIO.Set(gpio.LEDGreen, v&1 != 0)
+			return nil
+		})
+	return b
+}
+
+func (b *Board) addMMIO(name string, base, size uint64,
+	read func(int, uint64) (uint32, error),
+	write func(int, uint64, uint32) error) {
+	b.mmio = append(b.mmio, mmioRange{name: name, base: base, size: size, read: read, write: write})
+}
+
+// DeviceAt returns the name of the device window covering addr, if any.
+func (b *Board) DeviceAt(addr uint64) (string, bool) {
+	for _, m := range b.mmio {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.name, true
+		}
+	}
+	return "", false
+}
+
+// Read32 performs a host-physical 32-bit read as seen by cpu.
+func (b *Board) Read32(cpu int, addr uint64) (uint32, error) {
+	for _, m := range b.mmio {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.read(cpu, addr-m.base)
+		}
+	}
+	if b.RAM.InRange(addr, 4) {
+		return b.RAM.ReadWord(addr)
+	}
+	return 0, &BusFault{Addr: addr}
+}
+
+// Write32 performs a host-physical 32-bit write as seen by cpu.
+func (b *Board) Write32(cpu int, addr uint64, v uint32) error {
+	for _, m := range b.mmio {
+		if addr >= m.base && addr < m.base+m.size {
+			return m.write(cpu, addr-m.base, v)
+		}
+	}
+	if b.RAM.InRange(addr, 4) {
+		return b.RAM.WriteWord(addr, v)
+	}
+	return &BusFault{Addr: addr, Write: true}
+}
+
+// StartTimer programs cpu's generic timer to raise the virtual-timer PPI
+// every period. Any previous programming is replaced.
+func (b *Board) StartTimer(cpu int, period sim.Time) {
+	b.StopTimer(cpu)
+	if cpu < 0 || cpu >= NumCPUs {
+		return
+	}
+	b.timers[cpu].cancel = b.Engine.Every(period, func() {
+		_ = b.GIC.RaisePPI(cpu, gic.IRQVirtualTimer)
+	})
+}
+
+// StopTimer cancels cpu's timer programming.
+func (b *Board) StopTimer(cpu int) {
+	if cpu < 0 || cpu >= NumCPUs {
+		return
+	}
+	if b.timers[cpu].cancel != nil {
+		b.timers[cpu].cancel()
+		b.timers[cpu].cancel = nil
+	}
+}
+
+// Trace returns the engine's trace, the board-wide event record.
+func (b *Board) Trace() *sim.Trace { return b.Engine.Trace() }
+
+// Now returns the current virtual time.
+func (b *Board) Now() sim.Time { return b.Engine.Now() }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// CampaignResult aggregates a batch of runs of one plan.
+type CampaignResult struct {
+	Plan    string
+	Runs    []*RunResult
+	byClass map[Outcome]int
+}
+
+// Count returns how many runs ended in the given outcome.
+func (c *CampaignResult) Count(o Outcome) int { return c.byClass[o] }
+
+// Total returns the number of completed runs.
+func (c *CampaignResult) Total() int { return len(c.Runs) }
+
+// Fraction returns the share of runs with the given outcome in [0,1].
+func (c *CampaignResult) Fraction(o Outcome) float64 {
+	if len(c.Runs) == 0 {
+		return 0
+	}
+	return float64(c.byClass[o]) / float64(len(c.Runs))
+}
+
+// Distribution returns outcome → count for all classes (including zero
+// entries, so tables always have the same shape).
+func (c *CampaignResult) Distribution() map[Outcome]int {
+	out := make(map[Outcome]int, int(numOutcomes))
+	for _, o := range AllOutcomes() {
+		out[o] = c.byClass[o]
+	}
+	return out
+}
+
+// InjectionsTotal sums performed injections across runs.
+func (c *CampaignResult) InjectionsTotal() int {
+	n := 0
+	for _, r := range c.Runs {
+		n += len(r.Injections)
+	}
+	return n
+}
+
+// Campaign runs a plan N times with independent derived seeds, fanning
+// out across workers. Every run is an isolated deterministic machine, so
+// parallelism cannot perturb results; the aggregate is seed-reproducible.
+type Campaign struct {
+	// Plan to execute.
+	Plan *TestPlan
+	// Runs is the number of runs (the paper's campaign size per class).
+	Runs int
+	// MasterSeed derives per-run seeds via SplitMix64.
+	MasterSeed uint64
+	// Workers bounds parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Execute runs the campaign. ctx cancellation stops scheduling new runs
+// (in-flight runs complete; they are fast).
+func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
+	if c.Plan == nil {
+		return nil, fmt.Errorf("core: campaign has no plan")
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.Runs
+	if n <= 0 {
+		n = 100
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Pre-derive all seeds so the assignment is order-independent.
+	seeds := make([]uint64, n)
+	state := c.MasterSeed
+	for i := range seeds {
+		seeds[i] = sim.SplitMix64(&state)
+	}
+
+	results := make([]*RunResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				results[idx], errs[idx] = RunExperiment(c.Plan, seeds[idx])
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case work <- i:
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	agg := &CampaignResult{Plan: c.Plan.Name, byClass: make(map[Outcome]int)}
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("run %d (seed %#x): %w", i, seeds[i], errs[i])
+		}
+		if r == nil {
+			continue // cancelled before scheduling
+		}
+		agg.Runs = append(agg.Runs, r)
+		agg.byClass[r.Outcome()]++
+	}
+	if len(agg.Runs) == 0 {
+		return nil, fmt.Errorf("core: campaign produced no runs (cancelled?)")
+	}
+	return agg, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Outcome is the classifier's verdict for one run, using the paper's
+// taxonomy (§III and Figure 3) plus the latent-degradation class.
+type Outcome int
+
+// Outcomes, ordered by severity for reporting.
+const (
+	// OutcomeCorrect: the cell behaved correctly for the whole run.
+	OutcomeCorrect Outcome = iota + 1
+	// OutcomeSilentDegradation: system alive and producing output, but
+	// a latent deviation exists (task asserts, sequence errors).
+	OutcomeSilentDegradation
+	// OutcomeInvalidArgs: a management hypercall was rejected with a
+	// negative errno; the cell was not allocated. The paper's E1 result
+	// — a correct, safe failure.
+	OutcomeInvalidArgs
+	// OutcomeInconsistent: the hypervisor reports the cell RUNNING but
+	// the cell is broken — CPU never online, or console dead. E2.
+	OutcomeInconsistent
+	// OutcomeCPUPark: cpu_park() fired; the cell's core is parked, the
+	// rest of the system is untouched. Figure 3's "CPU park".
+	OutcomeCPUPark
+	// OutcomePanicPark: the fault propagated system-wide — hypervisor
+	// panic_stop or root kernel panic. Figure 3's "panic park".
+	OutcomePanicPark
+	numOutcomes
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeCorrect:           "correct",
+	OutcomeSilentDegradation: "silent-degradation",
+	OutcomeInvalidArgs:       "invalid-arguments",
+	OutcomeInconsistent:      "inconsistent",
+	OutcomeCPUPark:           "cpu-park",
+	OutcomePanicPark:         "panic-park",
+}
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// AllOutcomes lists the classifier's classes in reporting order.
+func AllOutcomes() []Outcome {
+	out := make([]Outcome, 0, int(numOutcomes)-1)
+	for o := OutcomeCorrect; o < numOutcomes; o++ {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Verdict is the classifier's full answer: outcome plus the evidence
+// lines a certification dossier needs.
+type Verdict struct {
+	Outcome  Outcome
+	Evidence []string
+}
+
+// livenessWindow is how recently the cell console must have spoken for
+// the cell to count as alive at the end of a run (four blink periods).
+const livenessWindow = 2 * sim.Second
+
+// Classify reads the machine's post-run state — exactly the artefacts
+// the paper's rig collected: serial transcripts, hypervisor console,
+// final cell and CPU states — and renders the verdict.
+func Classify(m *Machine) Verdict {
+	var ev []string
+	addf := func(format string, args ...any) {
+		ev = append(ev, fmt.Sprintf(format, args...))
+	}
+
+	// 1. System-wide death: hypervisor panic_stop or root kernel panic.
+	if panicked, why := m.HV.Panicked(); panicked {
+		addf("hypervisor panic_stop: %s", why)
+		return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
+	}
+	if halted, why := m.Board.Engine.Halted(); halted {
+		addf("machine halted: %s", why)
+		return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
+	}
+	if m.Board.UART0.Contains("Kernel panic - not syncing") {
+		addf("root console shows kernel panic")
+		return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
+	}
+	if m.Linux != nil {
+		if panicked, why := m.Linux.Panicked(); panicked {
+			addf("root kernel dead: %s", why)
+			return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
+		}
+	}
+
+	// 2. Parked non-root CPU. If the cell had produced workload output
+	// since its last start, this is the cleanly contained "CPU park" of
+	// Figure 3; if the cell never spoke, it was parked during bring-up
+	// and the observable state is E2's "non-executable cell, blank
+	// USART, reported running" inconsistency.
+	for cpu := 0; cpu < len(m.Board.CPUs); cpu++ {
+		p := m.HV.PerCPU(cpu)
+		if p == nil || !p.Parked {
+			continue
+		}
+		addf("cpu%d parked: %s", cpu, p.ParkReason)
+		spokeAfterStart := false
+		if m.Linux != nil {
+			for _, l := range m.Board.UART7.LinesAfter(m.Linux.LastStartAt) {
+				if strings.Contains(l.Text, "[") { // any workload line
+					spokeAfterStart = true
+					break
+				}
+			}
+		}
+		if spokeAfterStart {
+			return Verdict{Outcome: OutcomeCPUPark, Evidence: ev}
+		}
+		addf("cell never produced output after start: non-executable state")
+		return Verdict{Outcome: OutcomeInconsistent, Evidence: ev}
+	}
+
+	cell, cellExists := m.HV.CellByName("freertos-cell")
+
+	// 3. Management rejection: the tool printed an errno and the cell
+	// is absent — the paper's "invalid arguments, cell not allocated".
+	rejections := countToolFailures(m)
+	if rejections > 0 && !cellExists {
+		addf("%d management call(s) rejected; cell not allocated", rejections)
+		return Verdict{Outcome: OutcomeInvalidArgs, Evidence: ev}
+	}
+
+	// 4. Inconsistency: cell claims RUNNING while broken.
+	if cellExists && cell.State == jailhouse.CellRunning {
+		online := false
+		for _, cpu := range cell.CPUList() {
+			if p := m.HV.PerCPU(cpu); p != nil && p.OnlineInCell {
+				online = true
+			}
+		}
+		last, spoke := m.Board.UART7.LastActivity()
+		alive := spoke && m.Board.Now()-last <= livenessWindow
+		switch {
+		case !online:
+			addf("cell RUNNING but its CPU never came online (blank USART)")
+			return Verdict{Outcome: OutcomeInconsistent, Evidence: ev}
+		case !alive:
+			if spoke {
+				addf("cell RUNNING but console silent since %v", last)
+			} else {
+				addf("cell RUNNING with completely blank USART")
+			}
+			if m.RTOS != nil {
+				if halted, why := m.RTOS.Halted(); halted {
+					addf("guest kernel halted: %s", why)
+				}
+			}
+			return Verdict{Outcome: OutcomeInconsistent, Evidence: ev}
+		}
+	}
+
+	// 5. Alive: correct or latently degraded.
+	if m.RTOS != nil {
+		if asserted := m.RTOS.AssertedTasks(); len(asserted) > 0 {
+			addf("alive but degraded: asserted tasks %v", asserted)
+			return Verdict{Outcome: OutcomeSilentDegradation, Evidence: ev}
+		}
+	}
+	if m.Board.UART7.Contains("ASSERT") {
+		addf("alive but assert messages on cell console")
+		return Verdict{Outcome: OutcomeSilentDegradation, Evidence: ev}
+	}
+	if rejections > 0 {
+		// Rejected management calls but the cell came up on a later
+		// cycle — still the safe-failure signature.
+		addf("%d management call(s) rejected before a clean cycle", rejections)
+		return Verdict{Outcome: OutcomeInvalidArgs, Evidence: ev}
+	}
+
+	addf("cell alive until horizon; no deviations observed")
+	return Verdict{Outcome: OutcomeCorrect, Evidence: ev}
+}
+
+// countToolFailures counts the root tool's errno lines on UART0.
+func countToolFailures(m *Machine) int {
+	n := 0
+	for _, l := range m.Board.UART0.Lines() {
+		if strings.Contains(l.Text, "jailhouse:") && strings.Contains(l.Text, "failed") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// JSON export of run artefacts — the machine-readable form of the log
+// files the paper's rig collected, suitable for archiving in a
+// certification dossier or post-processing outside Go.
+
+// MarshalJSON renders the outcome as its taxonomy name.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON parses a taxonomy name back into an outcome.
+func (o *Outcome) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, cand := range AllOutcomes() {
+		if cand.String() == s {
+			*o = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown outcome %q", s)
+}
+
+// runExport is the stable JSON shape of one run.
+type runExport struct {
+	Plan            string            `json:"plan"`
+	Seed            string            `json:"seed"` // hex, stable across json number precision
+	Outcome         Outcome           `json:"outcome"`
+	Evidence        []string          `json:"evidence"`
+	Injections      []injectionExport `json:"injections"`
+	CellLines       int               `json:"cell_console_lines"`
+	LEDToggles      int               `json:"led_toggles"`
+	HorizonNS       int64             `json:"horizon_ns"`
+	DetectionNS     int64             `json:"detection_latency_ns"`
+	RootTranscript  string            `json:"root_transcript"`
+	CellTranscript  string            `json:"cell_transcript"`
+	HypervisorLines []string          `json:"hypervisor_console"`
+}
+
+type injectionExport struct {
+	AtNS   int64    `json:"at_ns"`
+	Point  string   `json:"point"`
+	CPU    int      `json:"cpu"`
+	Cell   string   `json:"cell"`
+	Fields []string `json:"fields"`
+	CallNo uint64   `json:"call_no"`
+	Damage uint8    `json:"damage"`
+}
+
+// ExportJSON renders the run as indented JSON.
+func (r *RunResult) ExportJSON() ([]byte, error) {
+	exp := runExport{
+		Plan:            r.Plan,
+		Seed:            fmt.Sprintf("%#x", r.Seed),
+		Outcome:         r.Outcome(),
+		Evidence:        r.Verdict.Evidence,
+		CellLines:       r.CellLines,
+		LEDToggles:      r.LEDToggles,
+		HorizonNS:       int64(r.Horizon),
+		DetectionNS:     int64(r.DetectionLatency),
+		RootTranscript:  r.RootTranscript,
+		CellTranscript:  r.CellTranscript,
+		HypervisorLines: r.HVConsole,
+	}
+	for _, rec := range r.Injections {
+		names := make([]string, len(rec.Fields))
+		for i, f := range rec.Fields {
+			names[i] = armv7.FieldName(f)
+		}
+		exp.Injections = append(exp.Injections, injectionExport{
+			AtNS:   int64(rec.At),
+			Point:  rec.Point.String(),
+			CPU:    rec.CPU,
+			Cell:   rec.Cell,
+			Fields: names,
+			CallNo: rec.CallNo,
+			Damage: uint8(rec.Damage),
+		})
+	}
+	return json.MarshalIndent(exp, "", "  ")
+}
+
+// campaignExport is the stable JSON shape of a campaign summary.
+type campaignExport struct {
+	Plan         string         `json:"plan"`
+	Runs         int            `json:"runs"`
+	Distribution map[string]int `json:"distribution"`
+	Injections   int            `json:"injections_total"`
+	MeanDetectNS int64          `json:"mean_detection_latency_ns"`
+}
+
+// ExportJSON renders the campaign summary as indented JSON.
+func (c *CampaignResult) ExportJSON() ([]byte, error) {
+	dist := make(map[string]int, len(c.byClass))
+	for _, o := range AllOutcomes() {
+		dist[o.String()] = c.byClass[o]
+	}
+	exp := campaignExport{
+		Plan:         c.Plan,
+		Runs:         c.Total(),
+		Distribution: dist,
+		Injections:   c.InjectionsTotal(),
+		MeanDetectNS: int64(c.MeanDetectionLatency()),
+	}
+	return json.MarshalIndent(exp, "", "  ")
+}
+
+// MeanDetectionLatency averages the detection latency over the runs that
+// detected a failure (park or panic); -1 when none did.
+func (c *CampaignResult) MeanDetectionLatency() sim.Time {
+	var total sim.Time
+	n := 0
+	for _, r := range c.Runs {
+		if r.DetectionLatency >= 0 {
+			total += r.DetectionLatency
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return total / sim.Time(n)
+}

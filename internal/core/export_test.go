@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	for _, o := range AllOutcomes() {
+		data, err := json.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Outcome
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != o {
+			t.Fatalf("roundtrip %v → %v", o, got)
+		}
+	}
+	var bad Outcome
+	if err := json.Unmarshal([]byte(`"weird"`), &bad); err == nil {
+		t.Fatal("unknown outcome name accepted")
+	}
+	if err := json.Unmarshal([]byte(`17`), &bad); err == nil {
+		t.Fatal("non-string outcome accepted")
+	}
+}
+
+func TestRunExportJSON(t *testing.T) {
+	plan := *PlanE3Fig3()
+	plan.Duration = 15 * sim.Second
+	res, err := RunExperiment(&plan, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	for _, key := range []string{"plan", "seed", "outcome", "evidence", "cell_transcript", "detection_latency_ns"} {
+		if _, ok := parsed[key]; !ok {
+			t.Fatalf("export missing %q", key)
+		}
+	}
+	if parsed["plan"] != "E3-fig3" {
+		t.Fatalf("plan = %v", parsed["plan"])
+	}
+	if !strings.HasPrefix(parsed["seed"].(string), "0x") {
+		t.Fatalf("seed = %v", parsed["seed"])
+	}
+}
+
+func TestCampaignExportAndDetectionLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	plan := *PlanE3Fig3()
+	plan.Duration = 20 * sim.Second
+	plan.Rate = 10 // hot: force detections
+	c := &Campaign{Plan: &plan, Runs: 20, MasterSeed: 3}
+	res, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed campaignExport
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Runs != 20 || parsed.Plan != "E3-fig3" {
+		t.Fatalf("summary = %+v", parsed)
+	}
+	// At this injection rate some run must have detected a failure, and
+	// the latency must be a plausible virtual duration.
+	if res.MeanDetectionLatency() < 0 {
+		t.Skip("no detected failures in this batch")
+	}
+	if res.MeanDetectionLatency() > 60*sim.Second {
+		t.Fatalf("mean detection latency = %v", res.MeanDetectionLatency())
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Flip is one planned bit flip: which register slot and which bit.
+type Flip struct {
+	Field armv7.Field
+	Bit   uint
+}
+
+// FaultModel plans the flips for one injection. Models are pure: they
+// draw random choices from rng and return the flips; the injector applies
+// them to the trap context (with the live-register semantic remapping).
+// The paper uses the classical single bit-flip model at two intensity
+// levels.
+type FaultModel interface {
+	// Name identifies the model in plans and reports.
+	Name() string
+	// Plan draws the flips for one injection.
+	Plan(rng *sim.RNG) []Flip
+}
+
+// Register-class field sets selectable by plans (ablation A2 compares
+// them). The paper's model draws from the 16 architecture registers.
+var (
+	// GPRFields is the paper's register set: r0-r12, sp, lr, pc.
+	GPRFields = func() []armv7.Field {
+		out := make([]armv7.Field, armv7.NumRegs)
+		for i := range out {
+			out[i] = armv7.Field(i)
+		}
+		return out
+	}()
+
+	// ArgFields covers the procedure-call argument registers.
+	ArgFields = []armv7.Field{
+		armv7.Field(armv7.RegR0), armv7.Field(armv7.RegR1),
+		armv7.Field(armv7.RegR2), armv7.Field(armv7.RegR3),
+	}
+
+	// CalleeSavedFields covers r4-r11.
+	CalleeSavedFields = func() []armv7.Field {
+		var out []armv7.Field
+		for i := armv7.RegR4; i <= armv7.RegR11; i++ {
+			out = append(out, armv7.Field(i))
+		}
+		return out
+	}()
+
+	// ControlFields covers the control-flow registers.
+	ControlFields = []armv7.Field{
+		armv7.Field(armv7.RegSP), armv7.Field(armv7.RegLR), armv7.Field(armv7.RegPC),
+	}
+
+	// SyndromeFields covers the trap syndrome and return state — outside
+	// the paper's model, exercised by the A2 ablation.
+	SyndromeFields = []armv7.Field{
+		armv7.FieldHSR, armv7.FieldSPSR, armv7.FieldELR, armv7.FieldHDFAR,
+	}
+)
+
+// SingleBitFlip is the paper's medium-intensity model: one random bit of
+// one random register from the field set.
+type SingleBitFlip struct {
+	// Fields to draw from; nil means GPRFields.
+	Fields []armv7.Field
+}
+
+var _ FaultModel = (*SingleBitFlip)(nil)
+
+// Name implements FaultModel.
+func (s *SingleBitFlip) Name() string { return "single-bitflip" }
+
+// Plan implements FaultModel.
+func (s *SingleBitFlip) Plan(rng *sim.RNG) []Flip {
+	fields := s.Fields
+	if len(fields) == 0 {
+		fields = GPRFields
+	}
+	f := fields[rng.Intn(len(fields))]
+	return []Flip{{Field: f, Bit: uint(rng.Intn(32))}}
+}
+
+// MultiRegisterBitFlip is the paper's high-intensity model: "a bit flip
+// of multiple registers at the time" — K distinct registers, one random
+// bit each.
+type MultiRegisterBitFlip struct {
+	// K is how many distinct registers to hit (default 3).
+	K int
+	// Fields to draw from; nil means GPRFields.
+	Fields []armv7.Field
+}
+
+var _ FaultModel = (*MultiRegisterBitFlip)(nil)
+
+// Name implements FaultModel.
+func (m *MultiRegisterBitFlip) Name() string {
+	k := m.K
+	if k <= 0 {
+		k = 3
+	}
+	return fmt.Sprintf("multi-bitflip(k=%d)", k)
+}
+
+// Plan implements FaultModel.
+func (m *MultiRegisterBitFlip) Plan(rng *sim.RNG) []Flip {
+	fields := m.Fields
+	if len(fields) == 0 {
+		fields = GPRFields
+	}
+	k := m.K
+	if k <= 0 {
+		k = 3
+	}
+	if k > len(fields) {
+		k = len(fields)
+	}
+	// Partial Fisher-Yates over a copy for k distinct picks.
+	pool := make([]armv7.Field, len(fields))
+	copy(pool, fields)
+	out := make([]Flip, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out = append(out, Flip{Field: pool[i], Bit: uint(rng.Intn(32))})
+	}
+	return out
+}
+
+// Intensity is the paper's fault-intensity level.
+type Intensity int
+
+// Intensity levels with the paper's parameters: medium = single-register
+// flip once every 100 calls, high = multi-register flip once every 50.
+const (
+	IntensityMedium Intensity = iota + 1
+	IntensityHigh
+)
+
+// String returns "medium" or "high".
+func (i Intensity) String() string {
+	switch i {
+	case IntensityMedium:
+		return "medium"
+	case IntensityHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("intensity(%d)", int(i))
+	}
+}
+
+// Model returns the fault model of the intensity level over the given
+// field set (nil = paper default).
+func (i Intensity) Model(fields []armv7.Field) FaultModel {
+	switch i {
+	case IntensityHigh:
+		return &MultiRegisterBitFlip{K: 3, Fields: fields}
+	default:
+		return &SingleBitFlip{Fields: fields}
+	}
+}
+
+// DefaultRate returns the paper's occurrence rate for the intensity:
+// one injection per N matching calls.
+func (i Intensity) DefaultRate() int {
+	switch i {
+	case IntensityHigh:
+		return 50
+	default:
+		return 100
+	}
+}

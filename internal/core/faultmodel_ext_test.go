@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func TestStuckAtDestroysRegister(t *testing.T) {
+	rng := sim.NewRNG(1)
+	m := &StuckAtModel{One: true}
+	flips := m.Plan(rng)
+	if len(flips) != 32 {
+		t.Fatalf("flips = %d, want 32", len(flips))
+	}
+	field := flips[0].Field
+	seen := map[uint]bool{}
+	for _, fl := range flips {
+		if fl.Field != field {
+			t.Fatal("stuck-at spread across registers")
+		}
+		if seen[fl.Bit] {
+			t.Fatalf("bit %d flipped twice", fl.Bit)
+		}
+		seen[fl.Bit] = true
+	}
+	// Applying all 32 flips inverts the register completely.
+	var ctx armv7.TrapContext
+	ctx.Set(field, 0x12345678)
+	for _, fl := range flips {
+		ctx.FlipBit(fl.Field, fl.Bit)
+	}
+	if got := ctx.Get(field); got != ^uint32(0x12345678) {
+		t.Fatalf("stuck-at application = %#x", got)
+	}
+	if (&StuckAtModel{}).Name() != "stuck-at-0" || m.Name() != "stuck-at-1" {
+		t.Fatal("names")
+	}
+}
+
+func TestIntermittentBurstSingleRegister(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m := &IntermittentModel{Burst: 6}
+	flips := m.Plan(rng)
+	if len(flips) != 6 {
+		t.Fatalf("burst = %d", len(flips))
+	}
+	for _, fl := range flips {
+		if fl.Field != flips[0].Field {
+			t.Fatal("burst spread across registers")
+		}
+	}
+	if (&IntermittentModel{}).Name() != "intermittent(burst=4)" {
+		t.Fatalf("default name = %q", (&IntermittentModel{}).Name())
+	}
+}
+
+func TestDoubleBitAdjacent(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m := &DoubleBitAdjacentModel{}
+	for i := 0; i < 100; i++ {
+		flips := m.Plan(rng)
+		if len(flips) != 2 {
+			t.Fatalf("flips = %d", len(flips))
+		}
+		if flips[1].Bit != flips[0].Bit+1 {
+			t.Fatalf("bits %d,%d not adjacent", flips[0].Bit, flips[1].Bit)
+		}
+		if flips[0].Field != flips[1].Field {
+			t.Fatal("adjacent flips in different registers")
+		}
+	}
+}
+
+func TestCustomPlanRoutesModel(t *testing.T) {
+	base := PlanE3Fig3()
+	p := NewCustomPlan("E3-stuck", base, &StuckAtModel{})
+	if p.Model().Name() != "stuck-at-0" {
+		t.Fatalf("custom model not routed: %s", p.Model().Name())
+	}
+	if base.Model().Name() != "single-bitflip" {
+		t.Fatal("base plan mutated")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomModelCampaignRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	base := *PlanE3Fig3()
+	base.Duration = 15 * sim.Second
+	plan := NewCustomPlan("E3-stuck-at", &base, &StuckAtModel{One: true})
+	c := &Campaign{Plan: plan, Runs: 20, MasterSeed: 8}
+	res, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() != 20 {
+		t.Fatalf("runs = %d", res.Total())
+	}
+	// A stuck-at register is at least as harmful as a single flip: the
+	// campaign must show some non-correct runs.
+	if res.Count(OutcomeCorrect) == res.Total() {
+		t.Fatal("stuck-at model produced zero deviations over 20 runs")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// InjectionRecord documents one performed injection — the framework's
+// equivalent of the paper's log entries.
+type InjectionRecord struct {
+	At     sim.Time
+	Point  jailhouse.InjectionPoint
+	CPU    int
+	Cell   string
+	Fields []armv7.Field
+	Damage jailhouse.Damage
+	CallNo uint64 // which matching call triggered it
+}
+
+// String renders the record for logs.
+func (r InjectionRecord) String() string {
+	names := make([]string, len(r.Fields))
+	for i, f := range r.Fields {
+		names[i] = armv7.FieldName(f)
+	}
+	return fmt.Sprintf("%s inject@%s cpu%d cell=%s call#%d fields=%v damage=%d",
+		r.At, r.Point, r.CPU, r.Cell, r.CallNo, names, r.Damage)
+}
+
+// Injector implements the paper's instrumentation: it counts calls to the
+// targeted handlers that match the plan's filter and corrupts the trap
+// context on every Nth one. Wire it with Injector.Hook as the
+// hypervisor's EntryHook.
+type Injector struct {
+	plan    *TestPlan
+	model   FaultModel
+	profile *SensitivityProfile
+	rng     *sim.RNG
+	now     func() sim.Time
+
+	armed     bool
+	armFrom   sim.Time // injections suppressed before this instant
+	disarmAt  sim.Time // 0 = no deadline
+	phase     uint64   // random trigger phase within the rate window
+	calls     map[jailhouse.InjectionPoint]uint64
+	records   []InjectionRecord
+	callTotal uint64
+}
+
+// NewInjector builds an injector for the plan. rng must be the target
+// machine's engine RNG (or a stream derived from the run seed) so runs
+// replay bit-identically; now supplies virtual time for records.
+func NewInjector(plan *TestPlan, profile *SensitivityProfile, rng *sim.RNG, now func() sim.Time) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:    plan,
+		model:   plan.Model(),
+		profile: profile,
+		rng:     rng,
+		now:     now,
+		armed:   true,
+		// The rig's arming instant is asynchronous to the workload, so
+		// the first trigger lands uniformly inside the rate window.
+		phase: uint64(rng.Intn(plan.EffectiveRate())),
+		calls: make(map[jailhouse.InjectionPoint]uint64),
+	}, nil
+}
+
+// Arm (re)enables injection; until is an optional virtual-time deadline
+// (0 = no deadline), implementing the paper's test-duration control.
+func (in *Injector) Arm(until sim.Time) {
+	in.armed = true
+	in.disarmAt = until
+}
+
+// ArmWindow enables injection only inside [from, until] of virtual time;
+// matching calls are still counted outside the window (profiling).
+func (in *Injector) ArmWindow(from, until sim.Time) {
+	in.armed = true
+	in.armFrom = from
+	in.disarmAt = until
+}
+
+// Disarm stops all future injections.
+func (in *Injector) Disarm() { in.armed = false }
+
+// Records returns the performed injections.
+func (in *Injector) Records() []InjectionRecord {
+	out := make([]InjectionRecord, len(in.records))
+	copy(out, in.records)
+	return out
+}
+
+// Calls returns how many filter-matching calls each point has seen —
+// the golden-run profiling counters that led the paper to its three
+// candidate functions.
+func (in *Injector) Calls() map[jailhouse.InjectionPoint]uint64 {
+	out := make(map[jailhouse.InjectionPoint]uint64, len(in.calls))
+	for k, v := range in.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalCalls returns all matching calls across points.
+func (in *Injector) TotalCalls() uint64 { return in.callTotal }
+
+// Hook is the jailhouse.EntryHook adapter.
+func (in *Injector) Hook(point jailhouse.InjectionPoint, cpu int, cell string, ctx *armv7.TrapContext) jailhouse.InjectionResult {
+	if !in.plan.TargetsPoint(point) {
+		return jailhouse.InjectionResult{}
+	}
+	if in.plan.TargetCPU != AnyCPU && cpu != in.plan.TargetCPU {
+		return jailhouse.InjectionResult{}
+	}
+	if in.plan.TargetCell != "" && cell != in.plan.TargetCell {
+		return jailhouse.InjectionResult{}
+	}
+	in.calls[point]++
+	in.callTotal++
+
+	if !in.armed {
+		return jailhouse.InjectionResult{}
+	}
+	if in.armFrom > 0 && in.now() < in.armFrom {
+		return jailhouse.InjectionResult{}
+	}
+	if in.disarmAt > 0 && in.now() > in.disarmAt {
+		return jailhouse.InjectionResult{}
+	}
+	if (in.callTotal+in.phase)%uint64(in.plan.EffectiveRate()) != 0 {
+		return jailhouse.InjectionResult{}
+	}
+
+	hsrAtEntry := ctx.HSR
+	flips := in.model.Plan(in.rng)
+	fields := make([]armv7.Field, 0, len(flips))
+	for _, fl := range flips {
+		ctx.FlipBit(remapLiveField(point, hsrAtEntry, fl.Field), fl.Bit)
+		fields = append(fields, fl.Field)
+	}
+	damage := in.profile.Sample(in.rng, point, hsrAtEntry, fields)
+	in.records = append(in.records, InjectionRecord{
+		At:     in.now(),
+		Point:  point,
+		CPU:    cpu,
+		Cell:   cell,
+		Fields: fields,
+		Damage: damage,
+		CallNo: in.callTotal,
+	})
+	return jailhouse.InjectionResult{Fields: fields, Damage: damage}
+}
+
+// remapLiveField maps a flipped *live* register to the datum it holds at
+// the instrumented entry. In the data-abort path of arch_handle_trap, r1
+// holds the syndrome and r2 the fault address (the handler's working
+// copies of HSR/HDFAR) — flipping them corrupts the handler's *view* of
+// the trap, which is how the paper's "error code 0x24 → cpu_park()"
+// outcome arises. Elsewhere the registers carry the guest's argument
+// values and map to themselves.
+func remapLiveField(point jailhouse.InjectionPoint, hsrAtEntry uint32, f armv7.Field) armv7.Field {
+	if point != jailhouse.PointTrap {
+		return f
+	}
+	if armv7.HSRClass(hsrAtEntry) != armv7.ECDABTLow {
+		return f
+	}
+	switch int(f) {
+	case armv7.RegR1:
+		return armv7.FieldHSR
+	case armv7.RegR2:
+		return armv7.FieldHDFAR
+	default:
+		return f
+	}
+}

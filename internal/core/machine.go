@@ -1,0 +1,148 @@
+// Package core is the paper's contribution: the fault-injection testing
+// framework for assessing a partitioning hypervisor as an ISO 26262
+// Safety Element out of Context (SEooC). It provides the bit-flip fault
+// models, the intensity levels and occurrence control of the paper's test
+// plans, the experiment runner and campaign orchestration, the outcome
+// classifier that reads the serial captures the way the paper's analytics
+// did, and the SEooC evidence report generator.
+package core
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/board"
+	"github.com/dessertlab/certify/internal/guest/freertos"
+	"github.com/dessertlab/certify/internal/guest/rootlinux"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Machine is one fully assembled experiment target: the Banana Pi board,
+// the hypervisor, root Linux and the FreeRTOS cell with the paper's
+// workload.
+type Machine struct {
+	Board *board.Board
+	HV    *jailhouse.Hypervisor
+	Linux *rootlinux.Linux
+	RTOS  *freertos.Kernel
+
+	// CellID of the FreeRTOS cell.
+	CellID uint32
+}
+
+// MachineOptions tunes the assembly.
+type MachineOptions struct {
+	// Seed drives every random decision in the run.
+	Seed uint64
+	// SkipCellStart leaves the FreeRTOS cell created-but-not-started
+	// (used by plans that inject into the start path itself).
+	SkipCellStart bool
+	// RecreateLoop arms the E1 management workload: the root cell
+	// destroys and recreates the FreeRTOS cell every RecreatePeriod.
+	RecreateLoop   bool
+	RecreatePeriod sim.Time
+	// DelayedCreate postpones the single cell create/load/start by
+	// DelayedCreateAt (default 2 s) — the E2 workload, where the
+	// injector is already armed when the bring-up happens.
+	DelayedCreate   bool
+	DelayedCreateAt sim.Time
+	// StateWatchdog arms the periodic "jailhouse cell state" probe.
+	StateWatchdog bool
+}
+
+// DefaultMachineOptions returns the configuration of the paper's main
+// workload: cell started, state watchdog on.
+func DefaultMachineOptions(seed uint64) MachineOptions {
+	return MachineOptions{Seed: seed, StateWatchdog: true}
+}
+
+// BuildMachine boots the full stack: board power-on, root Linux boot,
+// hypervisor enable, FreeRTOS cell create/load/start. The returned
+// machine is ready for its engine to run the experiment horizon.
+func BuildMachine(opts MachineOptions) (*Machine, error) {
+	brd := board.New(opts.Seed)
+	hv := jailhouse.New(brd)
+	linux := rootlinux.New(hv)
+
+	if err := linux.HypervisorEnable(jailhouse.DefaultSystemConfig()); err != nil {
+		return nil, fmt.Errorf("enable: %w", err)
+	}
+	linux.Boot(0)
+
+	m := &Machine{Board: brd, HV: hv, Linux: linux}
+	cfg := jailhouse.FreeRTOSCellConfig()
+
+	if opts.RecreateLoop {
+		period := opts.RecreatePeriod
+		if period <= 0 {
+			period = 5 * sim.Second
+		}
+		linux.StartRecreateLoop(cfg, func() jailhouse.Inmate {
+			k := freertos.NewPaperWorkload(hv, 1)
+			m.RTOS = k
+			return k
+		}, period)
+		if opts.StateWatchdog {
+			linux.StartStateWatchdog(0) // follows the current cycle's cell
+		}
+		return m, nil
+	}
+
+	if opts.DelayedCreate {
+		at := opts.DelayedCreateAt
+		if at <= 0 {
+			at = 2 * sim.Second
+		}
+		brd.Engine.Schedule(at, func() {
+			if err := linux.CellCreate(cfg); err != nil {
+				return // tool error already on the console
+			}
+			m.CellID = linux.CellID
+			m.RTOS = freertos.NewPaperWorkload(hv, 1)
+			if err := linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
+				return
+			}
+			if err := linux.CellStart(m.CellID); err != nil {
+				return
+			}
+			if opts.StateWatchdog {
+				linux.StartStateWatchdog(m.CellID)
+			}
+		})
+		return m, nil
+	}
+
+	if err := linux.CellCreate(cfg); err != nil {
+		return nil, fmt.Errorf("cell create: %w", err)
+	}
+	m.CellID = linux.CellID
+	m.RTOS = freertos.NewPaperWorkload(hv, 1)
+	if err := linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
+		return nil, fmt.Errorf("cell load: %w", err)
+	}
+	if !opts.SkipCellStart {
+		if err := linux.CellStart(m.CellID); err != nil {
+			return nil, fmt.Errorf("cell start: %w", err)
+		}
+	}
+	if opts.StateWatchdog {
+		linux.StartStateWatchdog(m.CellID)
+	}
+	return m, nil
+}
+
+// inmateImage produces the opaque "freertos.bin" bytes the tool writes
+// into the loadable region — content is irrelevant to the model but the
+// write path (root access to the loadable window) is exercised.
+func inmateImage() []byte {
+	img := make([]byte, 4096)
+	copy(img, "FREERTOS-INMATE-IMAGE v10.4.3")
+	return img
+}
+
+// Run executes the machine for the given virtual duration. A halted
+// engine (hypervisor panic_stop) is not an error at this level — it is
+// an experiment outcome.
+func (m *Machine) Run(d sim.Time) {
+	_ = m.Board.Engine.Run(m.Board.Now() + d)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Plan files let campaigns be described as reviewable text — a
+// certification workflow wants the executed test plan in the dossier.
+// The format is line-oriented "key = value":
+//
+//	name      = E3-custom
+//	points    = arch_handle_trap, arch_handle_hvc
+//	intensity = medium            # or high
+//	rate      = 100               # 0 = intensity default
+//	cpu       = 1                 # -1 = any
+//	cell      = freertos-cell     # empty = any
+//	fields    = gprs              # gprs|args|callee|control|syndrome
+//	duration  = 60s
+//	workload  = steady            # steady|management|delayed-create
+//
+// '#' starts a comment; unknown keys are errors (a mistyped key in a
+// certification test plan must not be silently ignored).
+
+// MarshalPlan renders a plan in the plan-file format.
+func MarshalPlan(p *TestPlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name      = %s\n", p.Name)
+	pts := make([]string, len(p.Points))
+	for i, pt := range p.Points {
+		pts[i] = pt.String()
+	}
+	fmt.Fprintf(&b, "points    = %s\n", strings.Join(pts, ", "))
+	fmt.Fprintf(&b, "intensity = %s\n", p.Intensity)
+	fmt.Fprintf(&b, "rate      = %d\n", p.Rate)
+	fmt.Fprintf(&b, "cpu       = %d\n", p.TargetCPU)
+	fmt.Fprintf(&b, "cell      = %s\n", p.TargetCell)
+	fmt.Fprintf(&b, "fields    = %s\n", fieldSetName(p.Fields))
+	fmt.Fprintf(&b, "duration  = %s\n", p.EffectiveDuration().Duration())
+	fmt.Fprintf(&b, "workload  = %s\n", p.Workload)
+	return b.String()
+}
+
+// ParsePlan parses the plan-file format.
+func ParsePlan(text string) (*TestPlan, error) {
+	p := &TestPlan{TargetCPU: AnyCPU}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: plan line %d: missing '='", lineNo)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if err := applyPlanKey(p, key, value); err != nil {
+			return nil, fmt.Errorf("core: plan line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func applyPlanKey(p *TestPlan, key, value string) error {
+	switch key {
+	case "name":
+		p.Name = value
+	case "points":
+		for _, part := range strings.Split(value, ",") {
+			pt, err := parsePoint(strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			p.Points = append(p.Points, pt)
+		}
+	case "intensity":
+		switch value {
+		case "medium":
+			p.Intensity = IntensityMedium
+		case "high":
+			p.Intensity = IntensityHigh
+		default:
+			return fmt.Errorf("unknown intensity %q", value)
+		}
+	case "rate":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad rate %q", value)
+		}
+		p.Rate = n
+	case "cpu":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad cpu %q", value)
+		}
+		p.TargetCPU = n
+	case "cell":
+		p.TargetCell = value
+	case "fields":
+		fs, err := parseFieldSet(value)
+		if err != nil {
+			return err
+		}
+		p.Fields = fs
+	case "duration":
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return fmt.Errorf("bad duration %q", value)
+		}
+		p.Duration = sim.Time(d)
+	case "workload":
+		switch value {
+		case "steady":
+			p.Workload = WorkloadSteady
+		case "management", "management-cycle":
+			p.Workload = WorkloadManagement
+		case "delayed-create":
+			p.Workload = WorkloadDelayedCreate
+		default:
+			return fmt.Errorf("unknown workload %q", value)
+		}
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+func parsePoint(s string) (jailhouse.InjectionPoint, error) {
+	switch s {
+	case "arch_handle_trap":
+		return jailhouse.PointTrap, nil
+	case "arch_handle_hvc":
+		return jailhouse.PointHVC, nil
+	case "irqchip_handle_irq":
+		return jailhouse.PointIRQChip, nil
+	default:
+		return 0, fmt.Errorf("unknown injection point %q", s)
+	}
+}
+
+func parseFieldSet(s string) ([]armv7.Field, error) {
+	switch s {
+	case "", "gprs":
+		return nil, nil // paper default
+	case "args":
+		return ArgFields, nil
+	case "callee":
+		return CalleeSavedFields, nil
+	case "control":
+		return ControlFields, nil
+	case "syndrome":
+		return SyndromeFields, nil
+	default:
+		return nil, fmt.Errorf("unknown field set %q", s)
+	}
+}
+
+func fieldSetName(fs []armv7.Field) string {
+	switch {
+	case len(fs) == 0:
+		return "gprs"
+	case sameFields(fs, ArgFields):
+		return "args"
+	case sameFields(fs, CalleeSavedFields):
+		return "callee"
+	case sameFields(fs, ControlFields):
+		return "control"
+	case sameFields(fs, SyndromeFields):
+		return "syndrome"
+	default:
+		return "gprs"
+	}
+}
+
+func sameFields(a, b []armv7.Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func TestPlanFileRoundTrip(t *testing.T) {
+	for _, orig := range []*TestPlan{PlanE1HVC(), PlanE1Trap(), PlanE2Core1(), PlanE3Fig3(), PlanA3IRQ()} {
+		t.Run(orig.Name, func(t *testing.T) {
+			text := MarshalPlan(orig)
+			got, err := ParsePlan(text)
+			if err != nil {
+				t.Fatalf("parse:\n%s\n%v", text, err)
+			}
+			if got.Name != orig.Name || got.Intensity != orig.Intensity ||
+				got.TargetCPU != orig.TargetCPU || got.TargetCell != orig.TargetCell ||
+				got.Workload != orig.Workload {
+				t.Fatalf("roundtrip mismatch:\n%+v\n%+v", orig, got)
+			}
+			if len(got.Points) != len(orig.Points) {
+				t.Fatalf("points: %v vs %v", got.Points, orig.Points)
+			}
+			if got.EffectiveDuration() != orig.EffectiveDuration() {
+				t.Fatalf("duration: %v vs %v", got.EffectiveDuration(), orig.EffectiveDuration())
+			}
+		})
+	}
+}
+
+func TestParsePlanCommentsAndWhitespace(t *testing.T) {
+	text := `
+# certification test plan, revision 2
+name      = custom   # trailing comment
+points    = arch_handle_trap, irqchip_handle_irq
+
+intensity = high
+rate      = 25
+cpu       = -1
+cell      =
+fields    = control
+duration  = 30s
+workload  = management
+`
+	p, err := ParsePlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "custom" || p.Rate != 25 || p.TargetCPU != AnyCPU {
+		t.Fatalf("parsed = %+v", p)
+	}
+	if len(p.Points) != 2 || p.Points[1] != jailhouse.PointIRQChip {
+		t.Fatalf("points = %v", p.Points)
+	}
+	if len(p.Fields) != len(ControlFields) {
+		t.Fatalf("fields = %v", p.Fields)
+	}
+	if p.Duration != 30*sim.Second {
+		t.Fatalf("duration = %v", p.Duration)
+	}
+	if p.Workload != WorkloadManagement {
+		t.Fatalf("workload = %v", p.Workload)
+	}
+}
+
+func TestParsePlanRejectsMistakes(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"missing equals", "name E3", "missing '='"},
+		{"unknown key", "name = x\npoints = arch_handle_trap\nintensity = medium\nspeed = 9", "unknown key"},
+		{"unknown point", "name = x\npoints = arch_handle_foo\nintensity = medium", "unknown injection point"},
+		{"unknown intensity", "name = x\npoints = arch_handle_trap\nintensity = extreme", "unknown intensity"},
+		{"bad rate", "name = x\npoints = arch_handle_trap\nintensity = medium\nrate = ten", "bad rate"},
+		{"bad duration", "name = x\npoints = arch_handle_trap\nintensity = medium\nduration = soon", "bad duration"},
+		{"unknown workload", "name = x\npoints = arch_handle_trap\nintensity = medium\nworkload = chaos", "unknown workload"},
+		{"unknown fields", "name = x\npoints = arch_handle_trap\nintensity = medium\nfields = floats", "unknown field set"},
+		{"invalid plan", "name = x\nintensity = medium", "targets no injection point"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlan(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFieldSetNames(t *testing.T) {
+	if fieldSetName(nil) != "gprs" || fieldSetName(ArgFields) != "args" ||
+		fieldSetName(CalleeSavedFields) != "callee" || fieldSetName(SyndromeFields) != "syndrome" {
+		t.Fatal("field set naming")
+	}
+}

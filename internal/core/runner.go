@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// RunResult is the record of one experiment run — everything the paper's
+// rig wrote to its log file, machine-readable.
+type RunResult struct {
+	Plan    string
+	Seed    uint64
+	Verdict Verdict
+
+	// Injections performed during the run.
+	Injections []InjectionRecord
+	// CallCounts per injection point (matching calls).
+	CallCounts map[jailhouse.InjectionPoint]uint64
+
+	// Console artefacts.
+	RootTranscript string
+	CellTranscript string
+	HVConsole      []string
+
+	// Liveness stats.
+	CellLines  int
+	LEDToggles int
+	Horizon    sim.Time
+
+	// DetectionLatency is the virtual time between the first injection
+	// and the first observable failure event (park or panic); -1 when
+	// no injection happened or nothing was detected. Certification
+	// cares about this number: it bounds how long a corrupted system
+	// runs before anyone notices.
+	DetectionLatency sim.Time
+}
+
+// Outcome is shorthand for the verdict's outcome.
+func (r *RunResult) Outcome() Outcome { return r.Verdict.Outcome }
+
+// RunExperiment executes one fault-injection run: build the machine for
+// the plan's workload, arm the injector, run the horizon, classify.
+func RunExperiment(plan *TestPlan, seed uint64) (*RunResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	opts := MachineOptions{Seed: seed, StateWatchdog: true}
+	switch plan.Workload {
+	case WorkloadManagement:
+		opts.RecreateLoop = true
+		opts.RecreatePeriod = 5 * sim.Second
+	case WorkloadDelayedCreate:
+		opts.DelayedCreate = true
+	}
+	m, err := BuildMachine(opts)
+	if err != nil {
+		return nil, fmt.Errorf("build machine: %w", err)
+	}
+
+	// Derive the injector's random stream from the run seed so the
+	// workload's own draws do not perturb injection choices.
+	injSeed := seed
+	rng := sim.NewRNG(sim.SplitMix64(&injSeed))
+	inj, err := NewInjector(plan, DefaultProfile(), rng, m.Board.Now)
+	if err != nil {
+		return nil, err
+	}
+	// Steady workloads arm after the cell is up (the rig starts its test
+	// once the workload runs); management workloads inject from the
+	// start — create/boot windows are their subject.
+	from := m.Board.Now()
+	if plan.Workload == WorkloadSteady {
+		from += 2 * sim.Second
+	}
+	inj.ArmWindow(from, m.Board.Now()+plan.EffectiveDuration())
+	m.HV.Hook = inj.Hook
+
+	m.Run(plan.EffectiveDuration())
+
+	res := &RunResult{
+		Plan:             plan.Name,
+		Seed:             seed,
+		Verdict:          Classify(m),
+		Injections:       inj.Records(),
+		CallCounts:       inj.Calls(),
+		RootTranscript:   m.Board.UART0.Transcript(),
+		CellTranscript:   m.Board.UART7.Transcript(),
+		HVConsole:        append([]string(nil), m.HV.ConsoleLines...),
+		CellLines:        m.Board.UART7.LineCount(),
+		Horizon:          m.Board.Now(),
+		DetectionLatency: detectionLatency(m, inj.Records()),
+	}
+	if m.RTOS != nil {
+		res.LEDToggles = m.RTOS.LEDToggleCount()
+	}
+	return res, nil
+}
+
+// detectionLatency measures first-injection → first park/panic evidence.
+func detectionLatency(m *Machine, injections []InjectionRecord) sim.Time {
+	if len(injections) == 0 {
+		return -1
+	}
+	first := injections[0].At
+	for _, rec := range m.Board.Trace().Records() {
+		if (rec.Kind == sim.KindPark || rec.Kind == sim.KindPanic) && rec.At >= first {
+			return rec.At - first
+		}
+	}
+	return -1
+}
+
+// GoldenProfile is the result of a fault-free profiling run: activation
+// counts of the three candidate functions, the paper's §III profiling
+// step that selected the injection points.
+type GoldenProfile struct {
+	Seed       uint64
+	Duration   sim.Time
+	Activation map[jailhouse.InjectionPoint]uint64
+	CellLines  int
+	RootLines  int
+	LEDToggles int
+	TraceHash  uint64
+}
+
+// GoldenRun executes a fault-free run with counting hooks only.
+func GoldenRun(seed uint64, d sim.Time) (*GoldenProfile, error) {
+	m, err := BuildMachine(DefaultMachineOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[jailhouse.InjectionPoint]uint64)
+	m.HV.Hook = func(point jailhouse.InjectionPoint, cpu int, cell string, ctx *armv7.TrapContext) jailhouse.InjectionResult {
+		counts[point]++
+		return jailhouse.InjectionResult{}
+	}
+	m.Run(d)
+
+	gp := &GoldenProfile{
+		Seed:       seed,
+		Duration:   d,
+		Activation: counts,
+		CellLines:  m.Board.UART7.LineCount(),
+		RootLines:  m.Board.UART0.LineCount(),
+		TraceHash:  m.Board.Trace().Hash(),
+	}
+	if m.RTOS != nil {
+		gp.LEDToggles = m.RTOS.LEDToggleCount()
+	}
+	if v := Classify(m); v.Outcome != OutcomeCorrect {
+		return gp, fmt.Errorf("golden run classified %v: %v", v.Outcome, v.Evidence)
+	}
+	return gp, nil
+}

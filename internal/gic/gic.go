@@ -1,0 +1,316 @@
+// Package gic models a GIC-400-class (GICv2) interrupt controller: a
+// shared distributor plus one CPU interface per core. The model covers
+// the behaviour a partitioning hypervisor and its guests exercise —
+// enable/disable, priority masking, SGI/PPI/SPI routing, acknowledge and
+// end-of-interrupt — and exposes the distributor's register file so the
+// hypervisor can emulate guest MMIO accesses to it, which is the main
+// source of the trap stream the paper injects into.
+package gic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interrupt ID ranges (GICv2).
+const (
+	NumSGI = 16 // software-generated, IDs 0-15, per-CPU
+	NumPPI = 16 // private peripheral, IDs 16-31, per-CPU
+	NumSPI = 96 // shared peripheral, IDs 32-127 in this model
+	MaxIRQ = NumSGI + NumPPI + NumSPI
+
+	// SpuriousIRQ is returned by Acknowledge when nothing is pending,
+	// the architectural 0x3FF value.
+	SpuriousIRQ = 1023
+)
+
+// Well-known interrupt IDs on the modelled SoC.
+const (
+	IRQVirtualTimer = 27 // PPI: per-core virtual timer (guest tick source)
+	IRQHypTimer     = 26 // PPI: hypervisor timer
+)
+
+// IsSGI reports whether id is a software-generated interrupt.
+func IsSGI(id int) bool { return id >= 0 && id < NumSGI }
+
+// IsPPI reports whether id is a private peripheral interrupt.
+func IsPPI(id int) bool { return id >= NumSGI && id < NumSGI+NumPPI }
+
+// IsSPI reports whether id is a shared peripheral interrupt.
+func IsSPI(id int) bool { return id >= NumSGI+NumPPI && id < MaxIRQ }
+
+// perCPU holds banked per-core interrupt state (SGIs+PPIs pending/active,
+// the CPU interface registers).
+type perCPU struct {
+	pending map[int]bool
+	active  map[int]bool
+	sgiSrc  map[int]int // pending SGI id → source CPU
+	priMask uint8       // GICC_PMR: only priorities < mask are delivered
+	enabled bool        // GICC_CTLR enable bit
+}
+
+// Distributor is the shared GICD state plus the per-CPU interfaces.
+type Distributor struct {
+	numCPUs int
+	ctlr    bool // GICD_CTLR group-0 enable
+
+	enabled  [MaxIRQ]bool  // GICD_ISENABLER
+	priority [MaxIRQ]uint8 // GICD_IPRIORITYR
+	targets  [MaxIRQ]uint8 // GICD_ITARGETSR: CPU bitmask (SPIs only)
+
+	cpus []*perCPU
+
+	// DeliverHook, when set, is called whenever a new interrupt becomes
+	// deliverable to a CPU. The board wires this to the hypervisor's IRQ
+	// entry path.
+	DeliverHook func(cpu, irq int)
+}
+
+// New returns a distributor for numCPUs cores, everything disabled, as
+// after reset.
+func New(numCPUs int) *Distributor {
+	d := &Distributor{numCPUs: numCPUs}
+	for i := 0; i < numCPUs; i++ {
+		d.cpus = append(d.cpus, &perCPU{
+			pending: make(map[int]bool),
+			active:  make(map[int]bool),
+			sgiSrc:  make(map[int]int),
+			priMask: 0xFF, // all priorities allowed through once enabled
+		})
+	}
+	for i := range d.priority {
+		d.priority[i] = 0xA0 // reset default mid priority
+	}
+	return d
+}
+
+// NumCPUs returns the number of CPU interfaces.
+func (d *Distributor) NumCPUs() int { return d.numCPUs }
+
+// EnableDistributor sets GICD_CTLR.EnableGrp0.
+func (d *Distributor) EnableDistributor(on bool) { d.ctlr = on }
+
+// DistributorEnabled reports GICD_CTLR.EnableGrp0.
+func (d *Distributor) DistributorEnabled() bool { return d.ctlr }
+
+// EnableCPUInterface sets GICC_CTLR.Enable for one core.
+func (d *Distributor) EnableCPUInterface(cpu int, on bool) {
+	if p := d.cpu(cpu); p != nil {
+		p.enabled = on
+	}
+}
+
+// SetPriorityMask writes GICC_PMR for one core.
+func (d *Distributor) SetPriorityMask(cpu int, mask uint8) {
+	if p := d.cpu(cpu); p != nil {
+		p.priMask = mask
+	}
+}
+
+func (d *Distributor) cpu(i int) *perCPU {
+	if i < 0 || i >= len(d.cpus) {
+		return nil
+	}
+	return d.cpus[i]
+}
+
+// EnableIRQ sets the distributor enable bit for an interrupt.
+func (d *Distributor) EnableIRQ(id int) {
+	if id >= 0 && id < MaxIRQ {
+		d.enabled[id] = true
+	}
+}
+
+// DisableIRQ clears the distributor enable bit.
+func (d *Distributor) DisableIRQ(id int) {
+	if id >= 0 && id < MaxIRQ {
+		d.enabled[id] = false
+	}
+}
+
+// IRQEnabled reports the distributor enable bit.
+func (d *Distributor) IRQEnabled(id int) bool {
+	return id >= 0 && id < MaxIRQ && d.enabled[id]
+}
+
+// SetPriority writes an interrupt's priority (0 = highest).
+func (d *Distributor) SetPriority(id int, pri uint8) {
+	if id >= 0 && id < MaxIRQ {
+		d.priority[id] = pri
+	}
+}
+
+// Priority reads an interrupt's priority.
+func (d *Distributor) Priority(id int) uint8 {
+	if id < 0 || id >= MaxIRQ {
+		return 0
+	}
+	return d.priority[id]
+}
+
+// SetTargets writes GICD_ITARGETSR for an SPI: a bitmask of CPU interfaces.
+func (d *Distributor) SetTargets(id int, mask uint8) {
+	if IsSPI(id) {
+		d.targets[id] = mask
+	}
+}
+
+// Targets reads the routing mask of an SPI.
+func (d *Distributor) Targets(id int) uint8 {
+	if id < 0 || id >= MaxIRQ {
+		return 0
+	}
+	return d.targets[id]
+}
+
+// RaiseSPI marks a shared peripheral interrupt pending and delivers it to
+// every targeted, enabled CPU interface.
+func (d *Distributor) RaiseSPI(id int) error {
+	if !IsSPI(id) {
+		return fmt.Errorf("gic: %d is not an SPI", id)
+	}
+	delivered := false
+	for cpu := 0; cpu < d.numCPUs; cpu++ {
+		if d.targets[id]&(1<<uint(cpu)) == 0 {
+			continue
+		}
+		d.cpus[cpu].pending[id] = true
+		delivered = true
+		d.maybeDeliver(cpu, id)
+	}
+	if !delivered {
+		// Untargeted SPIs stay latched in no-one's queue; hardware drops
+		// them at the distributor. Model the drop.
+		return nil
+	}
+	return nil
+}
+
+// RaisePPI marks a private interrupt pending on one core.
+func (d *Distributor) RaisePPI(cpu, id int) error {
+	if !IsPPI(id) {
+		return fmt.Errorf("gic: %d is not a PPI", id)
+	}
+	p := d.cpu(cpu)
+	if p == nil {
+		return fmt.Errorf("gic: no cpu %d", cpu)
+	}
+	p.pending[id] = true
+	d.maybeDeliver(cpu, id)
+	return nil
+}
+
+// SendSGI raises a software-generated interrupt from srcCPU on each CPU in
+// targetMask — the hypervisor's cross-CPU kick mechanism (cell stop,
+// park, resume).
+func (d *Distributor) SendSGI(srcCPU int, targetMask uint8, id int) error {
+	if !IsSGI(id) {
+		return fmt.Errorf("gic: %d is not an SGI", id)
+	}
+	for cpu := 0; cpu < d.numCPUs; cpu++ {
+		if targetMask&(1<<uint(cpu)) == 0 {
+			continue
+		}
+		p := d.cpus[cpu]
+		p.pending[id] = true
+		p.sgiSrc[id] = srcCPU
+		d.maybeDeliver(cpu, id)
+	}
+	return nil
+}
+
+// deliverable reports whether irq can be signalled to cpu right now.
+func (d *Distributor) deliverable(cpu, irq int) bool {
+	p := d.cpu(cpu)
+	if p == nil || !d.ctlr || !p.enabled {
+		return false
+	}
+	if !d.enabled[irq] {
+		return false
+	}
+	if d.priority[irq] >= p.priMask {
+		return false
+	}
+	return !p.active[irq]
+}
+
+func (d *Distributor) maybeDeliver(cpu, irq int) {
+	if d.deliverable(cpu, irq) && d.DeliverHook != nil {
+		d.DeliverHook(cpu, irq)
+	}
+}
+
+// Acknowledge implements a GICC_IAR read: returns the highest-priority
+// pending deliverable interrupt, marks it active, and clears pending.
+// Returns SpuriousIRQ when nothing qualifies. For SGIs the source CPU is
+// also returned (IAR bits [12:10] architecturally).
+func (d *Distributor) Acknowledge(cpu int) (irq int, srcCPU int) {
+	p := d.cpu(cpu)
+	if p == nil {
+		return SpuriousIRQ, 0
+	}
+	best, bestPri := SpuriousIRQ, uint16(0x100)
+	ids := make([]int, 0, len(p.pending))
+	for id := range p.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic tie-break: lowest ID wins
+	for _, id := range ids {
+		if !d.deliverable(cpu, id) {
+			continue
+		}
+		if uint16(d.priority[id]) < bestPri {
+			best, bestPri = id, uint16(d.priority[id])
+		}
+	}
+	if best == SpuriousIRQ {
+		return SpuriousIRQ, 0
+	}
+	delete(p.pending, best)
+	p.active[best] = true
+	src := p.sgiSrc[best]
+	delete(p.sgiSrc, best)
+	return best, src
+}
+
+// EOI implements a GICC_EOIR write: deactivates the interrupt on the core.
+func (d *Distributor) EOI(cpu, irq int) {
+	if p := d.cpu(cpu); p != nil {
+		delete(p.active, irq)
+		// A still-pending level interrupt would re-deliver here; our
+		// sources re-raise explicitly, so nothing further to do.
+	}
+}
+
+// Pending reports whether irq is pending (not yet acknowledged) on cpu.
+func (d *Distributor) Pending(cpu, irq int) bool {
+	p := d.cpu(cpu)
+	return p != nil && p.pending[irq]
+}
+
+// Active reports whether irq is active (ack'd, not EOI'd) on cpu.
+func (d *Distributor) Active(cpu, irq int) bool {
+	p := d.cpu(cpu)
+	return p != nil && p.active[irq]
+}
+
+// PendingCount returns the number of pending interrupts on cpu.
+func (d *Distributor) PendingCount(cpu int) int {
+	p := d.cpu(cpu)
+	if p == nil {
+		return 0
+	}
+	return len(p.pending)
+}
+
+// ClearCPU drops all pending/active state for a core — what happens when
+// the hypervisor resets a core while reassigning it between cells.
+func (d *Distributor) ClearCPU(cpu int) {
+	p := d.cpu(cpu)
+	if p == nil {
+		return
+	}
+	p.pending = make(map[int]bool)
+	p.active = make(map[int]bool)
+	p.sgiSrc = make(map[int]int)
+}

@@ -1,0 +1,150 @@
+package gic
+
+import "fmt"
+
+// GICv2 distributor register offsets (subset exercised by the guests).
+// Guest writes to these trap into the hypervisor (stage-2 fault), which
+// validates them against the cell's interrupt assignment and forwards the
+// permitted ones here — the exact path Jailhouse's irqchip emulation takes
+// and the dominant source of ArchHandleTrap activations in the golden runs.
+const (
+	GICDCtlr       = 0x000
+	GICDTyper      = 0x004
+	GICDIidr       = 0x008
+	GICDISEnabler  = 0x100 // set-enable, 1 bit per IRQ, 32 IRQs per word
+	GICDICEnabler  = 0x180 // clear-enable
+	GICDISPendr    = 0x200 // set-pending
+	GICDICPendr    = 0x280 // clear-pending
+	GICDIPriorityr = 0x400 // priority, 1 byte per IRQ
+	GICDITargetsr  = 0x800 // targets, 1 byte per IRQ (SPIs)
+	GICDICfgr      = 0xC00 // trigger configuration
+	GICDSgir       = 0xF00 // SGI generation
+)
+
+// RegionSize is the size of the distributor MMIO window.
+const RegionSize = 0x1000
+
+// ErrBadOffset is returned for accesses outside the modelled registers.
+type ErrBadOffset struct {
+	Offset uint64
+	Write  bool
+}
+
+// Error implements error.
+func (e *ErrBadOffset) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("gic: unhandled distributor %s at offset %#x", op, e.Offset)
+}
+
+// ReadReg performs a 32-bit distributor register read at the given offset.
+func (d *Distributor) ReadReg(offset uint64) (uint32, error) {
+	switch {
+	case offset == GICDCtlr:
+		if d.ctlr {
+			return 1, nil
+		}
+		return 0, nil
+	case offset == GICDTyper:
+		// ITLinesNumber = MaxIRQ/32 - 1; CPUNumber = numCPUs-1.
+		return uint32(MaxIRQ/32-1) | uint32(d.numCPUs-1)<<5, nil
+	case offset == GICDIidr:
+		return 0x0200043B, nil // GIC-400, ARM implementer
+	case offset >= GICDISEnabler && offset < GICDISEnabler+uint64(MaxIRQ/8):
+		return d.enableWord(int(offset-GICDISEnabler) / 4), nil
+	case offset >= GICDICEnabler && offset < GICDICEnabler+uint64(MaxIRQ/8):
+		return d.enableWord(int(offset-GICDICEnabler) / 4), nil
+	case offset >= GICDIPriorityr && offset < GICDIPriorityr+uint64(MaxIRQ):
+		base := int(offset - GICDIPriorityr)
+		var v uint32
+		for i := 0; i < 4; i++ {
+			if base+i < MaxIRQ {
+				v |= uint32(d.priority[base+i]) << (8 * uint(i))
+			}
+		}
+		return v, nil
+	case offset >= GICDITargetsr && offset < GICDITargetsr+uint64(MaxIRQ):
+		base := int(offset - GICDITargetsr)
+		var v uint32
+		for i := 0; i < 4; i++ {
+			if base+i < MaxIRQ {
+				v |= uint32(d.targets[base+i]) << (8 * uint(i))
+			}
+		}
+		return v, nil
+	case offset >= GICDICfgr && offset < GICDICfgr+uint64(MaxIRQ/4):
+		return 0, nil // trigger config reads back as level
+	default:
+		return 0, &ErrBadOffset{Offset: offset}
+	}
+}
+
+func (d *Distributor) enableWord(word int) uint32 {
+	var v uint32
+	for bit := 0; bit < 32; bit++ {
+		id := word*32 + bit
+		if id < MaxIRQ && d.enabled[id] {
+			v |= 1 << uint(bit)
+		}
+	}
+	return v
+}
+
+// WriteReg performs a 32-bit distributor register write.
+func (d *Distributor) WriteReg(offset uint64, value uint32, srcCPU int) error {
+	switch {
+	case offset == GICDCtlr:
+		d.ctlr = value&1 != 0
+		return nil
+	case offset >= GICDISEnabler && offset < GICDISEnabler+uint64(MaxIRQ/8):
+		word := int(offset-GICDISEnabler) / 4
+		for bit := 0; bit < 32; bit++ {
+			if value&(1<<uint(bit)) != 0 {
+				d.EnableIRQ(word*32 + bit)
+			}
+		}
+		return nil
+	case offset >= GICDICEnabler && offset < GICDICEnabler+uint64(MaxIRQ/8):
+		word := int(offset-GICDICEnabler) / 4
+		for bit := 0; bit < 32; bit++ {
+			if value&(1<<uint(bit)) != 0 {
+				d.DisableIRQ(word*32 + bit)
+			}
+		}
+		return nil
+	case offset >= GICDIPriorityr && offset < GICDIPriorityr+uint64(MaxIRQ):
+		base := int(offset - GICDIPriorityr)
+		for i := 0; i < 4; i++ {
+			if base+i < MaxIRQ {
+				d.SetPriority(base+i, uint8(value>>(8*uint(i))))
+			}
+		}
+		return nil
+	case offset >= GICDITargetsr && offset < GICDITargetsr+uint64(MaxIRQ):
+		base := int(offset - GICDITargetsr)
+		for i := 0; i < 4; i++ {
+			if base+i < MaxIRQ {
+				d.SetTargets(base+i, uint8(value>>(8*uint(i))))
+			}
+		}
+		return nil
+	case offset >= GICDICfgr && offset < GICDICfgr+uint64(MaxIRQ/4):
+		return nil // trigger configuration accepted and ignored
+	case offset == GICDSgir:
+		// SGIR: [25:24] filter, [23:16] target list, [3:0] SGI id.
+		id := int(value & 0xF)
+		filter := (value >> 24) & 0x3
+		targets := uint8(value >> 16)
+		switch filter {
+		case 1: // all but self
+			targets = uint8((1<<uint(d.numCPUs))-1) &^ (1 << uint(srcCPU))
+		case 2: // self only
+			targets = 1 << uint(srcCPU)
+		}
+		return d.SendSGI(srcCPU, targets, id)
+	default:
+		return &ErrBadOffset{Offset: offset, Write: true}
+	}
+}

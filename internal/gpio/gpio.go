@@ -1,0 +1,64 @@
+// Package gpio models the Banana Pi's LED port. The paper's FreeRTOS
+// workload includes "a task to blink an onboard led"; the toggle trace is
+// a liveness signal the classifier can use alongside the USART transcript.
+package gpio
+
+import "github.com/dessertlab/certify/internal/sim"
+
+// LEDGreen is the Banana Pi M1 green LED pin (PH24 on the A20).
+const LEDGreen = 24
+
+// Toggle records one LED state change.
+type Toggle struct {
+	At sim.Time
+	On bool
+}
+
+// Port is a bank of GPIO lines with per-line toggle capture.
+type Port struct {
+	now     func() sim.Time
+	state   map[int]bool
+	toggles map[int][]Toggle
+}
+
+// New returns an all-low port.
+func New(now func() sim.Time) *Port {
+	return &Port{
+		now:     now,
+		state:   make(map[int]bool),
+		toggles: make(map[int][]Toggle),
+	}
+}
+
+// Set drives pin to level on.
+func (p *Port) Set(pin int, on bool) {
+	if p.state[pin] == on {
+		return
+	}
+	p.state[pin] = on
+	p.toggles[pin] = append(p.toggles[pin], Toggle{At: p.now(), On: on})
+}
+
+// Get reads the current level of pin.
+func (p *Port) Get(pin int) bool { return p.state[pin] }
+
+// Toggles returns the recorded transitions of pin.
+func (p *Port) Toggles(pin int) []Toggle {
+	src := p.toggles[pin]
+	out := make([]Toggle, len(src))
+	copy(out, src)
+	return out
+}
+
+// ToggleCount returns how many transitions pin has made.
+func (p *Port) ToggleCount(pin int) int { return len(p.toggles[pin]) }
+
+// LastToggle returns the time of pin's most recent transition, and whether
+// it ever toggled.
+func (p *Port) LastToggle(pin int) (sim.Time, bool) {
+	ts := p.toggles[pin]
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[len(ts)-1].At, true
+}

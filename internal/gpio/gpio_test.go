@@ -1,0 +1,48 @@
+package gpio
+
+import (
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func TestSetRecordsToggles(t *testing.T) {
+	now := sim.Time(0)
+	p := New(func() sim.Time { return now })
+	p.Set(LEDGreen, true)
+	now = sim.Second
+	p.Set(LEDGreen, false)
+	if p.ToggleCount(LEDGreen) != 2 {
+		t.Fatalf("ToggleCount = %d", p.ToggleCount(LEDGreen))
+	}
+	ts := p.Toggles(LEDGreen)
+	if !ts[0].On || ts[1].On || ts[1].At != sim.Second {
+		t.Fatalf("Toggles = %v", ts)
+	}
+}
+
+func TestRedundantSetIsNoToggle(t *testing.T) {
+	p := New(func() sim.Time { return 0 })
+	p.Set(5, true)
+	p.Set(5, true)
+	if p.ToggleCount(5) != 1 {
+		t.Fatalf("redundant Set recorded: %d", p.ToggleCount(5))
+	}
+	if !p.Get(5) {
+		t.Fatal("Get lost state")
+	}
+}
+
+func TestLastToggle(t *testing.T) {
+	now := sim.Time(0)
+	p := New(func() sim.Time { return now })
+	if _, ok := p.LastToggle(1); ok {
+		t.Fatal("untouched pin reports toggle")
+	}
+	now = 3 * sim.Second
+	p.Set(1, true)
+	at, ok := p.LastToggle(1)
+	if !ok || at != 3*sim.Second {
+		t.Fatalf("LastToggle = %v %v", at, ok)
+	}
+}

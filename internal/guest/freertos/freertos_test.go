@@ -1,0 +1,232 @@
+package freertos_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/gpio"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// boot assembles the full stack and runs it for d.
+func boot(t *testing.T, seed uint64, d sim.Time) *core.Machine {
+	t.Helper()
+	m, err := core.BuildMachine(core.DefaultMachineOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(d)
+	return m
+}
+
+func TestGoldenRunProducesWorkloadOutput(t *testing.T) {
+	m := boot(t, 7, 12*sim.Second)
+	u := m.Board.UART7
+
+	for _, want := range []string{
+		"FreeRTOS V10.4.3 on Jailhouse cell",
+		"Scheduler started",
+		"[blink] led=",
+		"[recv] ok,",
+		"[float0] pi≈",
+		"[int00]", // at least the first integer task reports
+	} {
+		if !u.Contains(want) {
+			t.Errorf("uart7 missing %q\n%s", want, u.Transcript())
+		}
+	}
+	if halted, why := m.RTOS.Halted(); halted {
+		t.Fatalf("golden run halted: %s", why)
+	}
+}
+
+func TestGoldenRunBlinksLED(t *testing.T) {
+	m := boot(t, 8, 5*sim.Second)
+	// 500 ms toggle period → ~10 toggles in 5 s.
+	n := m.Board.GPIO.ToggleCount(gpio.LEDGreen)
+	if n < 8 || n > 12 {
+		t.Fatalf("LED toggles = %d, want ≈10", n)
+	}
+	if m.RTOS.LEDToggleCount() != n {
+		t.Fatal("kernel LED count disagrees with GPIO capture")
+	}
+}
+
+func TestGoldenRunTaskInventory(t *testing.T) {
+	m := boot(t, 9, sim.Second)
+	tasks := m.RTOS.Tasks()
+	// blink + sender + receiver + 2 float + 15 int + stats + IDLE = 22.
+	if len(tasks) != 22 {
+		t.Fatalf("task count = %d, want 22", len(tasks))
+	}
+	names := make(map[string]bool)
+	for _, tk := range tasks {
+		names[tk.Name] = true
+	}
+	for _, want := range []string{"blink", "sender", "receiver", "float0", "float1", "int00", "int14", "stats", "IDLE"} {
+		if !names[want] {
+			t.Fatalf("missing task %q (have %v)", want, names)
+		}
+	}
+	if len(m.RTOS.AssertedTasks()) != 0 {
+		t.Fatalf("golden run asserted tasks: %v", m.RTOS.AssertedTasks())
+	}
+}
+
+func TestGoldenRunDeterministic(t *testing.T) {
+	a := boot(t, 42, 3*sim.Second)
+	b := boot(t, 42, 3*sim.Second)
+	if a.Board.UART7.Transcript() != b.Board.UART7.Transcript() {
+		t.Fatal("same-seed runs produced different cell transcripts")
+	}
+	if a.Board.Trace().Hash() != b.Board.Trace().Hash() {
+		t.Fatal("same-seed runs produced different traces")
+	}
+	// Note: golden runs draw nothing from the RNG, so different seeds
+	// legitimately produce identical traces; seed sensitivity is tested
+	// under injection in the core package.
+}
+
+func TestQueueFlowsSequenceNumbers(t *testing.T) {
+	m := boot(t, 10, 4*sim.Second)
+	if !m.Board.UART7.Contains("[recv] ok,") {
+		t.Fatal("receiver produced no reports")
+	}
+	if m.Board.UART7.Contains("ASSERT: seq") {
+		t.Fatal("golden run saw sequence errors")
+	}
+}
+
+func TestCorruptedWorkRegisterAssertsOneTask(t *testing.T) {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2 * sim.Second)
+	// Corrupt task working registers (image slots r8-r11) a few times;
+	// whichever self-checking task owns the live registers asserts.
+	for i := 0; i < 8; i++ {
+		m.RTOS.OnCorruptedResume(1, []int{armv7.RegR9})
+		m.Run(200 * sim.Millisecond)
+	}
+	m.Run(3 * sim.Second)
+
+	if n := len(m.RTOS.AssertedTasks()); n < 1 {
+		t.Fatalf("asserted tasks = %d, want at least 1", n)
+	}
+	if !m.Board.UART7.Contains("ASSERT: checksum") && !m.Board.UART7.Contains("ASSERT: diverged") {
+		t.Fatal("no task assert printed")
+	}
+	// The kernel and the other tasks survive — degraded, not dead.
+	if halted, _ := m.RTOS.Halted(); halted {
+		t.Fatal("task-level corruption must not halt the kernel")
+	}
+	before := m.Board.UART7.LineCount()
+	m.Run(2 * sim.Second)
+	if m.Board.UART7.LineCount() <= before {
+		t.Fatal("cell went silent after a task-level assert")
+	}
+}
+
+func TestScratchRegisterCorruptionIsBenign(t *testing.T) {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(sim.Second)
+	m.RTOS.OnCorruptedResume(1, []int{armv7.RegR0, armv7.RegR2, armv7.RegR12})
+	m.Run(2 * sim.Second)
+	if halted, _ := m.RTOS.Halted(); halted {
+		t.Fatal("scratch corruption halted the kernel")
+	}
+	if len(m.RTOS.AssertedTasks()) != 0 {
+		t.Fatal("scratch corruption asserted a task")
+	}
+}
+
+func TestStackCorruptionHaltsKernel(t *testing.T) {
+	// pStackFatal is probabilistic; force repeatedly until it strikes.
+	m, err := core.BuildMachine(core.DefaultMachineOptions(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(sim.Second)
+	for i := 0; i < 64; i++ {
+		m.RTOS.OnCorruptedResume(1, []int{armv7.RegSP})
+	}
+	m.Run(sim.Second)
+	halted, why := m.RTOS.Halted()
+	if !halted || !strings.Contains(why, "stack overflow") {
+		t.Fatalf("Halted = %v %q, want stack overflow", halted, why)
+	}
+	if !m.Board.UART7.Contains("ASSERT FAILED") {
+		t.Fatal("halt not visible on console")
+	}
+	// After the halt the cell is silent but the hypervisor still
+	// reports RUNNING — the inconsistency the paper warns about.
+	before := m.Board.UART7.LineCount()
+	m.Run(2 * sim.Second)
+	if m.Board.UART7.LineCount() != before {
+		t.Fatal("halted kernel kept printing")
+	}
+	cell, ok := m.HV.CellByID(m.CellID)
+	if !ok || cell.State.String() != "running" {
+		t.Fatalf("cell state after guest death = %v", cell.State)
+	}
+}
+
+func TestWildJumpGetsCPUParked(t *testing.T) {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(sim.Second)
+	for i := 0; i < 32; i++ { // beat pWildFatal
+		m.RTOS.OnCorruptedResume(1, []int{armv7.RegPC})
+	}
+	m.Run(sim.Second)
+	p := m.HV.PerCPU(1)
+	if !p.Parked {
+		t.Fatal("wild jump did not park the CPU")
+	}
+	if !m.HV.ConsoleContains("Parking CPU 1") {
+		t.Fatal("missing park console evidence")
+	}
+	// Root cell unaffected; destroy still succeeds (paper E3).
+	if err := m.Linux.CellDestroy(m.CellID); err != nil {
+		t.Fatalf("destroy after park: %v", err)
+	}
+}
+
+func TestTickSkewIsTolerated(t *testing.T) {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(sim.Second)
+	m.RTOS.OnCorruptedResume(1, []int{armv7.RegR6})
+	m.Run(2 * sim.Second)
+	if halted, _ := m.RTOS.Halted(); halted {
+		t.Fatal("tick skew halted the kernel")
+	}
+}
+
+func TestHaltedKernelIgnoresFurtherCorruption(t *testing.T) {
+	m, err := core.BuildMachine(core.DefaultMachineOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(sim.Second)
+	for i := 0; i < 64; i++ {
+		m.RTOS.OnCorruptedResume(1, []int{armv7.RegSP})
+	}
+	m.Run(sim.Second)
+	if halted, _ := m.RTOS.Halted(); !halted {
+		t.Skip("stack corruption did not strike with this seed")
+	}
+	// Must not panic or change state.
+	m.RTOS.OnCorruptedResume(1, []int{armv7.RegPC, armv7.RegR4})
+	m.RTOS.OnIRQ(1, 27)
+}

@@ -1,0 +1,382 @@
+// Package freertos models a FreeRTOS-class real-time kernel running as a
+// Jailhouse inmate: a preemptive priority scheduler with round-robin
+// time-slicing, delayed-task lists, blocking queues, a 1 kHz tick from
+// the virtual timer, and the paper's exact workload — one LED-blink task,
+// a send/receive pair, two floating-point tasks and fifteen integer
+// tasks.
+//
+// The kernel also defines the cell's *register image*: the documented
+// mapping from architectural registers to kernel state that determines
+// how a corrupted register frame restored by the hypervisor becomes an
+// OS-level failure (task assert, kernel assert, stack-check failure or a
+// wild jump that ends in a hypervisor-parked CPU).
+package freertos
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/board"
+	"github.com/dessertlab/certify/internal/gic"
+	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/sim"
+	"github.com/dessertlab/certify/internal/uart"
+)
+
+// Kernel configuration, FreeRTOSConfig.h-style.
+const (
+	TickRateHz     = 1000 // configTICK_RATE_HZ
+	MaxPriorities  = 8    // configMAX_PRIORITIES
+	IdlePriority   = 0
+	tickPeriod     = sim.Second / TickRateHz
+	housekeepTicks = 500 // distributor hygiene cadence: ~2 traps/s steady
+	stackCanary    = 0xA5A5A5A5
+)
+
+// TaskState is a task's scheduling state.
+type TaskState uint8
+
+// Task states.
+const (
+	StateReady TaskState = iota + 1
+	StateRunning
+	StateBlocked
+	StateDelayed
+	StateSuspended
+)
+
+// StepFunc performs one time-slice of a task's work. Returning false
+// suspends the task permanently (task exit).
+type StepFunc func(k *Kernel, t *TCB) bool
+
+// TCB is a task control block.
+type TCB struct {
+	Name     string
+	Priority int
+	State    TaskState
+
+	step     StepFunc
+	wakeTick uint64
+	waitOn   *Queue
+
+	// Working registers of the task — the state mapped onto r8-r11 in
+	// the register image. Tasks keep checksums here; corruption is
+	// detected by the tasks themselves (configASSERT style).
+	Work [4]uint32
+
+	// stackGuard models the stack canary checked at context switch.
+	stackGuard uint32
+
+	// Asserted is set once the task failed its own invariant check and
+	// was suspended.
+	Asserted bool
+
+	runs uint64
+}
+
+// Kernel is one FreeRTOS instance bound to a cell CPU.
+type Kernel struct {
+	hv  *jailhouse.Hypervisor
+	brd *board.Board
+	cpu int
+
+	tasks   []*TCB
+	current *TCB
+	idle    *TCB
+
+	tick       uint64
+	started    bool
+	halted     bool
+	haltReason string
+
+	// wildJump is armed when control-flow registers were corrupted: the
+	// next slice fetches from a garbage address instead of running,
+	// which the hypervisor turns into an unhandled prefetch abort.
+	wildJump     bool
+	wildJumpAddr uint64
+
+	// stackSmashed is armed when the stack pointer was corrupted; the
+	// check fires at the next context switch.
+	stackSmashed bool
+
+	// queues registered for corruption bookkeeping.
+	queues []*Queue
+
+	// stats
+	ContextSwitches uint64
+	TicksSeen       uint64
+}
+
+// NewKernel returns a kernel for the given cell CPU. Call through
+// jailhouse.LoadInmate; the hypervisor invokes Boot when the cell starts.
+func NewKernel(hv *jailhouse.Hypervisor, cpu int) *Kernel {
+	return &Kernel{hv: hv, brd: hv.Board(), cpu: cpu}
+}
+
+var _ jailhouse.Inmate = (*Kernel)(nil)
+
+// Name implements jailhouse.Inmate.
+func (k *Kernel) Name() string { return "FreeRTOS" }
+
+// Halted reports whether the kernel stopped itself (assert/stack check),
+// with the reason.
+func (k *Kernel) Halted() (bool, string) { return k.halted, k.haltReason }
+
+// Tick returns the current tick count.
+func (k *Kernel) Tick() uint64 { return k.tick }
+
+// Tasks returns the task list (for tests and reports).
+func (k *Kernel) Tasks() []*TCB {
+	out := make([]*TCB, len(k.tasks))
+	copy(out, k.tasks)
+	return out
+}
+
+// CreateTask registers a task. Must be called before Boot completes
+// (tasks created later are accepted but start on the next tick).
+func (k *Kernel) CreateTask(name string, priority int, step StepFunc) *TCB {
+	if priority < 0 {
+		priority = 0
+	}
+	if priority >= MaxPriorities {
+		priority = MaxPriorities - 1
+	}
+	t := &TCB{
+		Name:       name,
+		Priority:   priority,
+		State:      StateReady,
+		step:       step,
+		stackGuard: stackCanary,
+	}
+	k.tasks = append(k.tasks, t)
+	return t
+}
+
+// putString writes to the cell's console UART through the guest port —
+// a direct-assigned device, so no trap is generated, exactly like the
+// real inmate's memory-mapped UART.
+func (k *Kernel) putString(s string) {
+	for i := 0; i < len(s); i++ {
+		_ = k.hv.GuestWrite32(k.cpu, board.UART7Base+uart.RegTHR, uint32(s[i]))
+	}
+}
+
+// Printf prints a line to the cell console.
+func (k *Kernel) Printf(format string, args ...any) {
+	if k.halted {
+		return
+	}
+	k.putString(fmt.Sprintf(format, args...))
+}
+
+// Boot implements jailhouse.Inmate: the inmate's startup — banner,
+// interrupt controller setup (a burst of trapped GICD accesses, the E2
+// injection window), timer programming, then the scheduler starts.
+func (k *Kernel) Boot(cpu int) {
+	if k.started {
+		return
+	}
+	k.cpu = cpu
+	k.putString("FreeRTOS V10.4.3 on Jailhouse cell\r\n")
+
+	// Identify the core the way a real port's startup does: trapped
+	// CP15 reads of the ID registers (more trap-class variety in the
+	// boot window the E2 injections strike).
+	midr := k.hv.GuestMRC(k.cpu, armv7.CP15MIDR)
+	mpidr := k.hv.GuestMRC(k.cpu, armv7.CP15MPIDR)
+	k.Printf("core: midr=%08x mpidr=%08x\r\n", midr, mpidr)
+	if k.dead() {
+		return
+	}
+
+	// GIC distributor initialisation: priority grid and interrupt
+	// enables, register by register. Every access traps into
+	// ArchHandleTrap for emulation. A corrupted boot access can park
+	// the CPU or derail the loop — then the cell never speaks: the
+	// paper's blank-USART state.
+	for w := 0; w < gic.MaxIRQ; w += 4 {
+		k.gicdWrite(uint64(gic.GICDIPriorityr+w), 0xA0A0A0A0)
+		if k.dead() {
+			return
+		}
+	}
+	k.gicdWrite(gic.GICDISEnabler, 1<<gic.IRQVirtualTimer|1<<0) // timer PPI + start SGI
+	word := board.IRQUart7 / 32
+	k.gicdWrite(uint64(gic.GICDISEnabler+4*word), 1<<uint(board.IRQUart7%32))
+	k.gicdWrite(gic.GICDCtlr, 1)
+	if k.dead() {
+		return
+	}
+
+	// Program the (untrapped) per-CPU virtual timer: the 1 kHz tick.
+	k.brd.StartTimer(k.cpu, tickPeriod)
+
+	k.idle = k.CreateTask("IDLE", IdlePriority, func(*Kernel, *TCB) bool { return true })
+	k.started = true
+	k.putString("Scheduler started\r\n")
+}
+
+// dead reports whether the kernel's CPU can no longer run guest code.
+func (k *Kernel) dead() bool {
+	p := k.hv.PerCPU(k.cpu)
+	if p == nil {
+		return true
+	}
+	if halted, _ := k.brd.Engine.Halted(); halted {
+		return true
+	}
+	return p.Parked || k.halted
+}
+
+// gicdWrite performs one trapped distributor write.
+func (k *Kernel) gicdWrite(off uint64, v uint32) {
+	_ = k.hv.GuestWrite32(k.cpu, board.GICDBase+off, v)
+}
+
+// gicdRead performs one trapped distributor read.
+func (k *Kernel) gicdRead(off uint64) uint32 {
+	v, _ := k.hv.GuestRead32(k.cpu, board.GICDBase+off)
+	return v
+}
+
+// OnIRQ implements jailhouse.Inmate: virtual IRQ delivery.
+func (k *Kernel) OnIRQ(cpu, irq int) {
+	if k.halted {
+		return
+	}
+	switch irq {
+	case gic.IRQVirtualTimer:
+		k.onTick()
+	case board.IRQUart7:
+		// console interrupt: nothing pending in this model
+	default:
+		k.Printf("unexpected IRQ %d\r\n", irq)
+	}
+}
+
+// onTick is the tick ISR plus the scheduler.
+func (k *Kernel) onTick() {
+	if !k.started || k.halted {
+		return
+	}
+	k.tick++
+	k.TicksSeen++
+
+	// A pending wild jump executes *before* any scheduling: the guest
+	// resumes at the corrupted address and immediately prefetch-aborts
+	// into the hypervisor, which parks the CPU (error-code path).
+	if k.wildJump {
+		k.wildJump = false
+		_ = k.hv.GuestFetch(k.cpu, k.wildJumpAddr)
+		return
+	}
+
+	// Distributor hygiene at a modest cadence: the steady-state
+	// ArchHandleTrap stream on the cell CPU that the Figure 3 campaign
+	// injects into.
+	if k.tick%housekeepTicks == 0 {
+		_ = k.gicdRead(gic.GICDISEnabler)
+		if k.tick%(housekeepTicks*4) == 0 {
+			k.gicdWrite(gic.GICDISEnabler, 1<<gic.IRQVirtualTimer)
+		}
+		if k.dead() {
+			return
+		}
+	}
+
+	// Wake delayed tasks.
+	for _, t := range k.tasks {
+		if t.State == StateDelayed && k.tick >= t.wakeTick {
+			t.State = StateReady
+		}
+	}
+
+	k.reschedule()
+	if k.current != nil && !k.halted {
+		t := k.current
+		t.runs++
+		if !t.step(k, t) {
+			t.State = StateSuspended
+		}
+	}
+}
+
+// reschedule picks the highest-priority ready task, round-robin within a
+// priority level, and performs the context-switch integrity checks.
+func (k *Kernel) reschedule() {
+	// Context-switch stack check (the FreeRTOS
+	// configCHECK_FOR_STACK_OVERFLOW hook).
+	if k.stackSmashed || (k.current != nil && k.current.stackGuard != stackCanary) {
+		k.kernelPanic("stack overflow detected in task " + k.currentName())
+		return
+	}
+
+	var best *TCB
+	for _, t := range k.tasks {
+		if t.State != StateReady && t.State != StateRunning {
+			continue
+		}
+		if best == nil || t.Priority > best.Priority {
+			best = t
+		}
+	}
+	if best == nil {
+		best = k.idle
+	}
+	if k.current != best {
+		k.ContextSwitches++
+		if k.current != nil && k.current.State == StateRunning {
+			k.current.State = StateReady
+		}
+		k.current = best
+		best.State = StateRunning
+	}
+	// Round-robin: rotate the chosen task to the back of its class.
+	for i, t := range k.tasks {
+		if t == best && i < len(k.tasks)-1 {
+			k.tasks = append(append(k.tasks[:i], k.tasks[i+1:]...), t)
+			break
+		}
+	}
+}
+
+func (k *Kernel) currentName() string {
+	if k.current == nil {
+		return "?"
+	}
+	return k.current.Name
+}
+
+// Delay blocks the current task for the given number of ticks.
+func (k *Kernel) Delay(t *TCB, ticks uint64) {
+	t.State = StateDelayed
+	t.wakeTick = k.tick + ticks
+}
+
+// kernelPanic is configASSERT failing at kernel level: print and halt the
+// whole scheduler. The cell goes silent but the hypervisor still reports
+// it RUNNING.
+func (k *Kernel) kernelPanic(why string) {
+	if k.halted {
+		return
+	}
+	k.putString("ASSERT FAILED: " + why + "\r\n")
+	k.putString("FreeRTOS halted.\r\n")
+	k.halted = true
+	k.haltReason = why
+	k.brd.StopTimer(k.cpu)
+}
+
+// OnCPUParked implements jailhouse.Inmate.
+func (k *Kernel) OnCPUParked(cpu int) {
+	// The CPU is gone; the kernel cannot even print. Stop the timer so
+	// the simulation does not keep delivering ticks to a parked core.
+	k.brd.StopTimer(cpu)
+}
+
+// OnShutdown implements jailhouse.Inmate.
+func (k *Kernel) OnShutdown() {
+	k.brd.StopTimer(k.cpu)
+	k.halted = true
+	k.haltReason = "cell shutdown"
+}

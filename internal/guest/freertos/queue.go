@@ -1,0 +1,90 @@
+package freertos
+
+// Queue is a FreeRTOS-style fixed-capacity message queue with blocking
+// send and receive. Tasks that would overflow or underflow the queue move
+// to the Blocked state and are woken when space or data appears.
+type Queue struct {
+	name string
+	buf  []uint32
+	cap  int
+
+	sendWaiters []*TCB
+	recvWaiters []*TCB
+
+	// poisoned is set when the queue-head corruption (register image r7)
+	// strikes; the next operation asserts.
+	poisoned bool
+
+	Sends    uint64
+	Receives uint64
+}
+
+// NewQueue creates a queue with the given capacity and registers it with
+// the kernel for corruption bookkeeping.
+func (k *Kernel) NewQueue(name string, capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{name: name, cap: capacity}
+	k.queues = append(k.queues, q)
+	return q
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Send enqueues v on behalf of task t. If the queue is full the task
+// blocks; returns false in that case (the task retries on its next
+// slice, FreeRTOS's portMAX_DELAY behaviour folded into the step model).
+func (q *Queue) Send(k *Kernel, t *TCB, v uint32) bool {
+	if q.poisoned {
+		k.queueAssert(t, q)
+		return false
+	}
+	if len(q.buf) >= q.cap {
+		t.State = StateBlocked
+		t.waitOn = q
+		q.sendWaiters = append(q.sendWaiters, t)
+		return false
+	}
+	q.buf = append(q.buf, v)
+	q.Sends++
+	// Wake one receiver.
+	if len(q.recvWaiters) > 0 {
+		w := q.recvWaiters[0]
+		q.recvWaiters = q.recvWaiters[1:]
+		w.State = StateReady
+		w.waitOn = nil
+	}
+	return true
+}
+
+// Receive dequeues into *out on behalf of task t, blocking when empty.
+func (q *Queue) Receive(k *Kernel, t *TCB, out *uint32) bool {
+	if q.poisoned {
+		k.queueAssert(t, q)
+		return false
+	}
+	if len(q.buf) == 0 {
+		t.State = StateBlocked
+		t.waitOn = q
+		q.recvWaiters = append(q.recvWaiters, t)
+		return false
+	}
+	*out = q.buf[0]
+	q.buf = q.buf[1:]
+	q.Receives++
+	if len(q.sendWaiters) > 0 {
+		w := q.sendWaiters[0]
+		q.sendWaiters = q.sendWaiters[1:]
+		w.State = StateReady
+		w.waitOn = nil
+	}
+	return true
+}
+
+// queueAssert is the configASSERT on a corrupted queue structure: fatal
+// at kernel level, because the queue spine lives in kernel heap.
+func (k *Kernel) queueAssert(t *TCB, q *Queue) {
+	k.kernelPanic("queue " + q.name + " corrupted (op by " + t.Name + ")")
+}

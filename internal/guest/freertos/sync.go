@@ -1,0 +1,134 @@
+package freertos
+
+// Synchronisation primitives of the FreeRTOS API surface the workload
+// uses: counting/binary semaphores and a mutex with priority
+// inheritance — the mechanism that keeps a low-priority holder from
+// starving a high-priority waiter (unbounded priority inversion being a
+// classic certification concern in mixed-criticality systems).
+
+// Semaphore is a counting semaphore with task blocking.
+type Semaphore struct {
+	name    string
+	count   int
+	max     int
+	waiters []*TCB
+
+	Gives uint64
+	Takes uint64
+}
+
+// NewSemaphore creates a counting semaphore (initial=max=n for a
+// resource pool, initial=0/max=1 for a signal).
+func (k *Kernel) NewSemaphore(name string, initial, max int) *Semaphore {
+	if max < 1 {
+		max = 1
+	}
+	if initial < 0 {
+		initial = 0
+	}
+	if initial > max {
+		initial = max
+	}
+	return &Semaphore{name: name, count: initial, max: max}
+}
+
+// Take acquires one unit on behalf of t, blocking (returning false) when
+// none is available; the task retries on its next slice.
+func (s *Semaphore) Take(k *Kernel, t *TCB) bool {
+	if s.count > 0 {
+		s.count--
+		s.Takes++
+		return true
+	}
+	t.State = StateBlocked
+	s.waiters = append(s.waiters, t)
+	return false
+}
+
+// Give releases one unit, waking the longest-blocked waiter.
+func (s *Semaphore) Give(k *Kernel, t *TCB) bool {
+	if s.count >= s.max {
+		return false // over-give, FreeRTOS returns errQUEUE_FULL
+	}
+	s.count++
+	s.Gives++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.State = StateReady
+	}
+	return true
+}
+
+// Count returns the available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Mutex is a binary lock with priority inheritance.
+type Mutex struct {
+	name   string
+	holder *TCB
+	// basePriority is the holder's priority before inheritance.
+	basePriority int
+	waiters      []*TCB
+
+	Locks    uint64
+	Inherits uint64
+}
+
+// NewMutex creates an unlocked mutex.
+func (k *Kernel) NewMutex(name string) *Mutex {
+	return &Mutex{name: name}
+}
+
+// Lock acquires the mutex for t. When the mutex is held by a
+// lower-priority task, the holder inherits t's priority — bounding the
+// inversion window. Returns false (and blocks t) when contended.
+func (m *Mutex) Lock(k *Kernel, t *TCB) bool {
+	if m.holder == nil {
+		m.holder = t
+		m.basePriority = t.Priority
+		m.Locks++
+		return true
+	}
+	if m.holder == t {
+		return true // recursive hold, counted once in this model
+	}
+	// Priority inheritance: boost the holder to the waiter's priority.
+	if t.Priority > m.holder.Priority {
+		m.holder.Priority = t.Priority
+		m.Inherits++
+	}
+	t.State = StateBlocked
+	m.waiters = append(m.waiters, t)
+	return false
+}
+
+// Unlock releases the mutex, restoring the holder's base priority and
+// handing the lock to the highest-priority waiter.
+func (m *Mutex) Unlock(k *Kernel, t *TCB) bool {
+	if m.holder != t {
+		return false // not the holder: FreeRTOS asserts here
+	}
+	m.holder.Priority = m.basePriority
+	m.holder = nil
+	if len(m.waiters) == 0 {
+		return true
+	}
+	// Highest-priority waiter wins; FIFO among equals.
+	best := 0
+	for i, w := range m.waiters {
+		if w.Priority > m.waiters[best].Priority {
+			best = i
+		}
+	}
+	next := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	m.holder = next
+	m.basePriority = next.Priority
+	m.Locks++
+	next.State = StateReady
+	return true
+}
+
+// Holder returns the current holder (nil when free).
+func (m *Mutex) Holder() *TCB { return m.holder }

@@ -1,0 +1,117 @@
+package jailhouse
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/memmap"
+)
+
+// Inmate is the software loaded into a cell — a guest OS plus its
+// workload. Guest models (internal/guest/...) implement it. The
+// hypervisor calls these methods; guests call back into the hypervisor
+// through the GuestPort API (HVC, GuestRead32/GuestWrite32, SMC).
+type Inmate interface {
+	// Name identifies the guest in traces.
+	Name() string
+	// Boot starts the guest on the given CPU. Called once per cell CPU
+	// when the cell starts (after CPU reset).
+	Boot(cpu int)
+	// OnIRQ delivers a virtual interrupt while the guest is running.
+	OnIRQ(cpu, irq int)
+	// OnCorruptedResume informs the guest that the hypervisor restored a
+	// modified register frame: fields lists the trap-context slots whose
+	// values changed across the handler. The guest decides — per its
+	// documented register image — whether that corruption is fatal,
+	// latent or benign.
+	OnCorruptedResume(cpu int, fields []int)
+	// OnCPUParked tells the guest the hypervisor parked one of its CPUs;
+	// the guest stops scheduling work there.
+	OnCPUParked(cpu int)
+	// OnShutdown delivers the SHUTDOWN_REQUEST comm-region message.
+	OnShutdown()
+}
+
+// Cell is the runtime state of one partition.
+type Cell struct {
+	ID     uint32
+	Config *CellConfig
+	State  CellState
+
+	// Stage2 is the cell's guest-physical address space.
+	Stage2 *memmap.Stage2
+
+	// CPUs currently assigned (may differ transiently from the config
+	// during create/destroy).
+	cpus map[int]bool
+
+	// Loadable reports whether the cell's loadable regions are mapped
+	// into the root cell for image loading (SET_LOADABLE issued).
+	Loadable bool
+
+	// Guest is the inmate software, attached by LoadInmate.
+	Guest Inmate
+
+	// CommPending holds the last comm-region message sent to the cell.
+	CommPending uint32
+}
+
+// Comm-region messages (subset of JAILHOUSE_MSG_*).
+const (
+	MsgNone            uint32 = 0
+	MsgShutdownRequest uint32 = 1
+)
+
+func newCell(id uint32, cfg *CellConfig) (*Cell, error) {
+	s2 := memmap.NewStage2()
+	for _, r := range cfg.MemRegions {
+		if err := s2.Map(r); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cell{
+		ID:     id,
+		Config: cfg,
+		State:  CellShutDown,
+		Stage2: s2,
+		cpus:   make(map[int]bool),
+	}
+	for _, cpu := range cfg.CPUs() {
+		c.cpus[cpu] = true
+	}
+	return c, nil
+}
+
+// Name returns the cell's configured name.
+func (c *Cell) Name() string { return c.Config.Name }
+
+// HasCPU reports whether cpu is currently assigned to the cell.
+func (c *Cell) HasCPU(cpu int) bool { return c.cpus[cpu] }
+
+// CPUList returns the assigned CPUs in ascending order.
+func (c *Cell) CPUList() []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if c.cpus[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// removeCPU detaches a CPU from the cell.
+func (c *Cell) removeCPU(cpu int) { delete(c.cpus, cpu) }
+
+// addCPU attaches a CPU to the cell.
+func (c *Cell) addCPU(cpu int) { c.cpus[cpu] = true }
+
+// OwnsMMIO reports whether gpa falls inside any of the cell's regions
+// carrying the IO flag (direct-assigned device windows).
+func (c *Cell) OwnsMMIO(gpa uint64) bool {
+	r, ok := c.Stage2.Lookup(gpa)
+	return ok && r.Flags&memmap.FlagIO != 0
+}
+
+// String renders the cell like "jailhouse cell list" output.
+func (c *Cell) String() string {
+	return fmt.Sprintf("%-24s %-14s cpus=%v", c.Name(), c.State, c.CPUList())
+}

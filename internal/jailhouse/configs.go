@@ -1,0 +1,99 @@
+package jailhouse
+
+import (
+	"github.com/dessertlab/certify/internal/board"
+	"github.com/dessertlab/certify/internal/memmap"
+	"github.com/dessertlab/certify/internal/uart"
+)
+
+// Memory layout constants for the Banana Pi deployment, mirroring the
+// jailhouse-images bananapi demo: the hypervisor firmware reserves the
+// top of DRAM, and the FreeRTOS cell gets a 64 MiB carve-out below it.
+const (
+	HypMemBase uint64 = 0x7F00_0000 // top 16 MiB of the 1 GiB DRAM
+	HypMemSize uint64 = 0x0100_0000
+
+	// The inmate RAM is mapped at guest-virtual 0 and must stay below
+	// the identity-mapped device windows (UARTs at 0x01C2_xxxx).
+	FreeRTOSMemBase uint64 = 0x7B00_0000 // 16 MiB inmate RAM
+	FreeRTOSMemSize uint64 = 0x0100_0000
+
+	CommRegionBase uint64 = 0x7AF0_0000 // comm region page
+	CommRegionSize uint64 = 0x0000_1000
+)
+
+// DefaultSystemConfig returns the system (root cell) configuration for
+// the Banana Pi: Linux owns both CPUs, all of DRAM below the hypervisor
+// reservation, and the devices except the GIC distributor (which is
+// always trap-and-emulate).
+func DefaultSystemConfig() *SystemConfig {
+	return &SystemConfig{
+		RootCell: CellConfig{
+			Name:   "banana-pi",
+			CPUSet: 0b11, // CPUs 0 and 1
+			MemRegions: []memmap.Region{
+				{
+					Phys: board.DRAMBase, Virt: board.DRAMBase,
+					Size:  HypMemBase - board.DRAMBase,
+					Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagExecute | memmap.FlagDMA,
+				},
+				{
+					Phys: board.UART0Base, Virt: board.UART0Base,
+					Size:  uart.RegionSize,
+					Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagIO,
+				},
+				{
+					Phys: board.UART7Base, Virt: board.UART7Base,
+					Size:  uart.RegionSize,
+					Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagIO,
+				},
+				{
+					Phys: board.GPIOBase, Virt: board.GPIOBase,
+					Size:  board.GPIOSize,
+					Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagIO,
+				},
+			},
+			IRQLines:    []int{board.IRQUart0, board.IRQUart7},
+			ConsoleBase: board.UART0Base,
+		},
+		HypMemory: memmap.Region{
+			Phys: HypMemBase, Virt: HypMemBase, Size: HypMemSize,
+			Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagExecute,
+		},
+	}
+}
+
+// FreeRTOSCellConfig returns the non-root cell configuration of the
+// paper's experiments: CPU core 1, a loadable RAM window, the UART7
+// console ("USART"), the LED GPIO bank (shared with root) and the UART7
+// interrupt line.
+func FreeRTOSCellConfig() *CellConfig {
+	return &CellConfig{
+		Name:   "freertos-cell",
+		CPUSet: 0b10, // CPU core 1 — statically assigned, as in the paper
+		MemRegions: []memmap.Region{
+			{
+				Phys: FreeRTOSMemBase, Virt: 0x0000_0000,
+				Size:  FreeRTOSMemSize,
+				Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagExecute | memmap.FlagLoadable,
+			},
+			{
+				Phys: board.UART7Base, Virt: board.UART7Base,
+				Size:  uart.RegionSize,
+				Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagIO,
+			},
+			{
+				Phys: board.GPIOBase, Virt: board.GPIOBase,
+				Size:  board.GPIOSize,
+				Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagIO | memmap.FlagRootShared,
+			},
+			{
+				Phys: CommRegionBase, Virt: CommRegionBase,
+				Size:  CommRegionSize,
+				Flags: memmap.FlagRead | memmap.FlagWrite | memmap.FlagCommRegion | memmap.FlagRootShared,
+			},
+		},
+		IRQLines:    []int{board.IRQUart7},
+		ConsoleBase: board.UART7Base,
+	}
+}

@@ -1,0 +1,55 @@
+// Package jailhouse models a Jailhouse-class static partitioning
+// hypervisor: a root cell plus statically configured non-root cells, the
+// management hypercall interface, trap-and-emulate handling for the
+// interrupt distributor, PSCI-based CPU hotplug, and the two failure
+// sinks the paper's experiments distinguish — cpu_park() (cell-local)
+// and panic_stop() (system-wide).
+//
+// The three functions the paper instruments exist here under their
+// Jailhouse names: ArchHandleTrap, ArchHandleHVC and IRQChipHandleIRQ.
+// Each runs an optional entry hook through which the fault-injection
+// framework (internal/core) corrupts the trap context, exactly as the
+// paper's ~dozen patched lines did on the real hypervisor.
+package jailhouse
+
+import "fmt"
+
+// Errno is a negative-errno hypercall result, matching the Linux
+// convention Jailhouse returns to its driver. Zero or positive values are
+// success.
+type Errno int32
+
+// Errno values used by the hypercall interface (negated Linux errnos).
+const (
+	EOK    Errno = 0
+	EPERM  Errno = -1
+	ENOENT Errno = -2
+	EIO    Errno = -5
+	E2BIG  Errno = -7
+	ENOMEM Errno = -12
+	EBUSY  Errno = -16
+	EEXIST Errno = -17
+	EINVAL Errno = -22
+	ERANGE Errno = -34
+	ENOSYS Errno = -38
+)
+
+var errnoNames = map[Errno]string{
+	EOK: "OK", EPERM: "Operation not permitted", ENOENT: "No such cell",
+	EIO: "I/O error", E2BIG: "Argument list too long", ENOMEM: "Out of memory",
+	EBUSY: "Device or resource busy", EEXIST: "Cell already exists",
+	EINVAL: "Invalid argument", ERANGE: "Result out of range",
+	ENOSYS: "Function not implemented",
+}
+
+// String renders the errno the way the jailhouse tool prints it
+// ("Invalid argument" is the paper's "invalid arguments" observation).
+func (e Errno) String() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int32(e))
+}
+
+// Failed reports whether the value is an error result.
+func (e Errno) Failed() bool { return e < 0 }

@@ -1,0 +1,84 @@
+package jailhouse
+
+import "fmt"
+
+// Hypercall codes, numerically identical to Jailhouse v0.12's
+// jailhouse/hypercall.h.
+const (
+	HCDisable           uint32 = 0
+	HCCellCreate        uint32 = 1
+	HCCellStart         uint32 = 2
+	HCCellSetLoadable   uint32 = 3
+	HCCellDestroy       uint32 = 4
+	HCHypervisorGetInfo uint32 = 5
+	HCCellGetState      uint32 = 6
+	HCCPUGetInfo        uint32 = 7
+	HCDebugConsolePutc  uint32 = 8
+
+	// numHypercalls bounds the dispatch table; anything at or above it
+	// is an unknown code and returns -ENOSYS.
+	numHypercalls = 9
+)
+
+// HypercallName returns the mnemonic for a hypercall code.
+func HypercallName(code uint32) string {
+	names := [...]string{
+		"HYPERVISOR_DISABLE", "CELL_CREATE", "CELL_START", "CELL_SET_LOADABLE",
+		"CELL_DESTROY", "HYPERVISOR_GET_INFO", "CELL_GET_STATE", "CPU_GET_INFO",
+		"DEBUG_CONSOLE_PUTC",
+	}
+	if code < uint32(len(names)) {
+		return names[code]
+	}
+	return fmt.Sprintf("HYPERCALL(%d)", code)
+}
+
+// GetInfo item codes for HCHypervisorGetInfo.
+const (
+	InfoMemPoolSize uint32 = 0
+	InfoMemPoolUsed uint32 = 1
+	InfoNumCells    uint32 = 2
+	InfoCodeVersion uint32 = 3
+)
+
+// CPUGetInfo item codes.
+const (
+	CPUInfoState     uint32 = 0
+	CPUInfoStatParks uint32 = 1
+)
+
+// CPU states reported by HCCPUGetInfo.
+const (
+	CPUStateRunning   uint32 = 0
+	CPUStateSuspended uint32 = 1
+	CPUStateParked    uint32 = 2
+	CPUStateOffline   uint32 = 3
+)
+
+// CellState is the lifecycle state reported by HCCellGetState, matching
+// JAILHOUSE_CELL_* in Jailhouse v0.12.
+type CellState uint32
+
+// Cell lifecycle states.
+const (
+	CellRunning       CellState = 0
+	CellRunningLocked CellState = 1
+	CellShutDown      CellState = 2
+	CellFailed        CellState = 3
+)
+
+// String renders the state the way "jailhouse cell list" does.
+func (s CellState) String() string {
+	switch s {
+	case CellRunning:
+		return "running"
+	case CellRunningLocked:
+		return "running/locked"
+	case CellShutDown:
+		return "shut down"
+	case CellFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", uint32(s))
+	}
+}

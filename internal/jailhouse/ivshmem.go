@@ -1,0 +1,109 @@
+package jailhouse
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/memmap"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Inter-cell communication via the ivshmem device model: a shared-memory
+// window visible to exactly two cells plus a doorbell that raises an
+// interrupt in the peer. This is the one sanctioned hole in the
+// partitioning — the paper (§II.A) notes that "inter-cell communication
+// is allowed through the ivshmem device model". The implementation
+// enforces the same isolation discipline as everything else: only the
+// two registered peers can ring each other, and the doorbell is an SPI
+// owned by the receiving cell.
+
+// IvshmemLink connects two cells through a shared region and a pair of
+// doorbell interrupts.
+type IvshmemLink struct {
+	Region memmap.Region // the shared window (FlagRootShared semantics)
+	// Peers by cell ID; doorbell IRQ delivered to the peer when rung.
+	PeerA, PeerB         uint32
+	DoorbellA, DoorbellB int // SPI raised at A / at B
+	ringsA, ringsB       uint64
+}
+
+// AddIvshmem registers a shared-memory link between two existing cells.
+// Both cells must already map the region (typically with ROOTSHARED) —
+// the call validates that neither side gains access it did not configure.
+func (h *Hypervisor) AddIvshmem(cellA, cellB uint32, region memmap.Region, doorbellA, doorbellB int) (*IvshmemLink, error) {
+	a, okA := h.CellByID(cellA)
+	b, okB := h.CellByID(cellB)
+	if !okA || !okB {
+		return nil, fmt.Errorf("jailhouse: ivshmem needs two existing cells (%d, %d)", cellA, cellB)
+	}
+	if cellA == cellB {
+		return nil, fmt.Errorf("jailhouse: ivshmem cannot loop a cell to itself")
+	}
+	for _, c := range []*Cell{a, b} {
+		if _, ok := c.Stage2.Lookup(region.Virt); !ok {
+			return nil, fmt.Errorf("jailhouse: cell %q does not map the shared window %v", c.Name(), region)
+		}
+	}
+	link := &IvshmemLink{
+		Region: region,
+		PeerA:  cellA, PeerB: cellB,
+		DoorbellA: doorbellA, DoorbellB: doorbellB,
+	}
+	// The doorbell lines become part of each peer's interrupt
+	// assignment, as the real device's cell config declares them.
+	if !a.Config.OwnsIRQ(doorbellA) {
+		a.Config.IRQLines = append(a.Config.IRQLines, doorbellA)
+	}
+	if !b.Config.OwnsIRQ(doorbellB) {
+		b.Config.IRQLines = append(b.Config.IRQLines, doorbellB)
+	}
+	h.ivshmem = append(h.ivshmem, link)
+	h.consolef("Adding virtual PCI device 00:0%d.0 to cell \"%s\"", len(h.ivshmem), a.Name())
+	h.consolef("Adding virtual PCI device 00:0%d.0 to cell \"%s\"", len(h.ivshmem), b.Name())
+	return link, nil
+}
+
+// Ring rings the doorbell from the given cell: the peer receives its
+// doorbell interrupt. Only the two registered peers may ring.
+func (h *Hypervisor) Ring(link *IvshmemLink, fromCell uint32) error {
+	if link == nil {
+		return fmt.Errorf("jailhouse: nil ivshmem link")
+	}
+	var targetCell uint32
+	var doorbell int
+	switch fromCell {
+	case link.PeerA:
+		targetCell, doorbell = link.PeerB, link.DoorbellB
+		link.ringsA++
+	case link.PeerB:
+		targetCell, doorbell = link.PeerA, link.DoorbellA
+		link.ringsB++
+	default:
+		// Isolation: a third cell cannot use the link.
+		h.consolef("ivshmem: cell %d is not a peer of this link", fromCell)
+		return fmt.Errorf("jailhouse: cell %d is not an ivshmem peer: %v", fromCell, EPERM)
+	}
+	target, ok := h.CellByID(targetCell)
+	if !ok || target.State != CellRunning {
+		return fmt.Errorf("jailhouse: ivshmem peer cell %d not running: %v", targetCell, ENOENT)
+	}
+	for _, cpu := range target.CPUList() {
+		h.brd.GIC.EnableIRQ(doorbell)
+		h.brd.GIC.SetTargets(doorbell, 1<<uint(cpu))
+		if err := h.brd.GIC.RaiseSPI(doorbell); err != nil {
+			return fmt.Errorf("jailhouse: doorbell %d: %w", doorbell, err)
+		}
+		h.trace(sim.KindIRQ, cpu, "ivshmem doorbell %d → cell %q", doorbell, target.Name())
+		return nil // one delivery per ring
+	}
+	return fmt.Errorf("jailhouse: ivshmem peer cell %d has no CPUs: %v", targetCell, ENOENT)
+}
+
+// Rings reports how many times each side rang (A, B).
+func (l *IvshmemLink) Rings() (uint64, uint64) { return l.ringsA, l.ringsB }
+
+// IvshmemLinks returns the registered links.
+func (h *Hypervisor) IvshmemLinks() []*IvshmemLink {
+	out := make([]*IvshmemLink, len(h.ivshmem))
+	copy(out, h.ivshmem)
+	return out
+}

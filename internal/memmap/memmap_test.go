@@ -1,0 +1,388 @@
+package memmap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionContainsTranslate(t *testing.T) {
+	r := Region{Phys: 0x4000_0000, Virt: 0x0, Size: 0x1000, Flags: FlagRead | FlagWrite}
+	if !r.Contains(0) || !r.Contains(0xFFF) {
+		t.Fatal("Contains failed inside region")
+	}
+	if r.Contains(0x1000) {
+		t.Fatal("Contains true at end (exclusive bound)")
+	}
+	if got := r.Translate(0x10); got != 0x4000_0010 {
+		t.Fatalf("Translate = %#x", got)
+	}
+}
+
+func TestRegionOverlap(t *testing.T) {
+	a := Region{Phys: 0x1000, Virt: 0x1000, Size: 0x1000}
+	tests := []struct {
+		name string
+		b    Region
+		want bool
+	}{
+		{"disjoint-below", Region{Phys: 0x0, Virt: 0x0, Size: 0x1000}, false},
+		{"disjoint-above", Region{Phys: 0x2000, Virt: 0x2000, Size: 0x1000}, false},
+		{"identical", a, true},
+		{"tail-overlap", Region{Phys: 0x1800, Virt: 0x1800, Size: 0x1000}, true},
+		{"contained", Region{Phys: 0x1400, Virt: 0x1400, Size: 0x100}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.OverlapsVirt(tt.b); got != tt.want {
+				t.Fatalf("OverlapsVirt = %v, want %v", got, tt.want)
+			}
+			if got := a.OverlapsPhys(tt.b); got != tt.want {
+				t.Fatalf("OverlapsPhys = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	f := FlagRead | FlagWrite | FlagIO
+	s := f.String()
+	for _, want := range []string{"r", "w", "io"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Flags.String() = %q missing %q", s, want)
+		}
+	}
+	if Flags(0).String() != "-" {
+		t.Fatalf("empty flags = %q", Flags(0).String())
+	}
+}
+
+func TestStage2MapAndResolve(t *testing.T) {
+	s := NewStage2()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Map(Region{Phys: 0x4000_0000, Virt: 0x0, Size: 0x10000, Flags: FlagRead | FlagWrite | FlagExecute}))
+	must(s.Map(Region{Phys: 0x01C2_8000, Virt: 0x01C2_8000, Size: 0x400, Flags: FlagRead | FlagWrite | FlagIO}))
+
+	hpa, reg, err := s.Resolve(0x100, AccessRead)
+	must(err)
+	if hpa != 0x4000_0100 || reg.Flags&FlagExecute == 0 {
+		t.Fatalf("Resolve = %#x %v", hpa, reg)
+	}
+
+	// Permission fault: executing from the device window.
+	_, _, err = s.Resolve(0x01C2_8000, AccessExec)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultPermission {
+		t.Fatalf("want permission fault, got %v", err)
+	}
+
+	// Translation fault: hole between regions.
+	_, _, err = s.Resolve(0x2000_0000, AccessWrite)
+	if !errors.As(err, &f) || f.Kind != FaultTranslation {
+		t.Fatalf("want translation fault, got %v", err)
+	}
+	if !strings.Contains(f.Error(), "translation") {
+		t.Fatalf("fault error = %q", f.Error())
+	}
+}
+
+func TestStage2RejectsOverlap(t *testing.T) {
+	s := NewStage2()
+	if err := s.Map(Region{Phys: 0, Virt: 0x1000, Size: 0x1000, Flags: FlagRead}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Map(Region{Phys: 0x9000, Virt: 0x1800, Size: 0x1000, Flags: FlagRead})
+	if !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+}
+
+func TestStage2RejectsDegenerateRegions(t *testing.T) {
+	s := NewStage2()
+	if err := s.Map(Region{Virt: 0, Size: 0}); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+	if err := s.Map(Region{Virt: ^uint64(0) - 10, Phys: 0, Size: 0x100}); err == nil {
+		t.Fatal("wrapping region accepted")
+	}
+}
+
+func TestStage2Unmap(t *testing.T) {
+	s := NewStage2()
+	r := Region{Phys: 0x1000, Virt: 0x5000, Size: 0x1000, Flags: FlagRead}
+	if err := s.Map(r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Unmap(0x5000)
+	if !ok || got != r {
+		t.Fatalf("Unmap = %v %v", got, ok)
+	}
+	if _, ok := s.Lookup(0x5000); ok {
+		t.Fatal("region still mapped after Unmap")
+	}
+	if _, ok := s.Unmap(0x5000); ok {
+		t.Fatal("double Unmap succeeded")
+	}
+}
+
+func TestStage2AccountingHelpers(t *testing.T) {
+	s := NewStage2()
+	_ = s.Map(Region{Phys: 0, Virt: 0, Size: 0x1000, Flags: FlagRead})
+	_ = s.Map(Region{Phys: 0x1000, Virt: 0x8000, Size: 0x3000, Flags: FlagRead})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalSize() != 0x4000 {
+		t.Fatalf("TotalSize = %#x", s.TotalSize())
+	}
+	regs := s.Regions()
+	if len(regs) != 2 || regs[0].Virt != 0 || regs[1].Virt != 0x8000 {
+		t.Fatalf("Regions = %v", regs)
+	}
+	// Mutating the copy must not affect the stage-2.
+	regs[0].Virt = 0xFFFF
+	if got, _ := s.Lookup(0); got.Virt != 0 {
+		t.Fatal("Regions() exposed internal state")
+	}
+}
+
+// Property: for any set of non-overlapping regions accepted by Map, every
+// in-region address resolves to the translation the region defines and
+// every out-of-region address faults.
+func TestStage2PropertyResolveMatchesRegions(t *testing.T) {
+	prop := func(bases [4]uint16, sizes [4]uint8) bool {
+		s := NewStage2()
+		var accepted []Region
+		for i := range bases {
+			r := Region{
+				Phys:  uint64(bases[i]) * 0x1000,
+				Virt:  uint64(bases[i]) * 0x1000,
+				Size:  (uint64(sizes[i]%8) + 1) * 0x1000,
+				Flags: FlagRead,
+			}
+			if err := s.Map(r); err == nil {
+				accepted = append(accepted, r)
+			}
+		}
+		for _, r := range accepted {
+			mid := r.Virt + r.Size/2
+			hpa, _, err := s.Resolve(mid, AccessRead)
+			if err != nil || hpa != r.Translate(mid) {
+				return false
+			}
+			if _, _, err := s.Resolve(mid, AccessWrite); err == nil {
+				return false // read-only region allowed a write
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAMReadWriteRoundTrip(t *testing.T) {
+	m := NewRAM(0x4000_0000, 1<<30)
+	data := []byte("jailhouse cell config blob")
+	if err := m.Write(0x4000_1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0x4000_1000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}
+
+func TestRAMCrossPageAccess(t *testing.T) {
+	m := NewRAM(0, 1<<20)
+	data := make([]byte, 3*pageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := uint64(pageSize - 7) // straddles three pages
+	if err := m.Write(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(start, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+}
+
+func TestRAMUntouchedReadsZero(t *testing.T) {
+	m := NewRAM(0, 1<<20)
+	got, err := m.Read(0x5000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("untouched RAM returned nonzero")
+		}
+	}
+	if m.PagesAllocated() != 0 {
+		t.Fatal("read allocated pages")
+	}
+}
+
+func TestRAMOutOfBounds(t *testing.T) {
+	m := NewRAM(0x1000, 0x1000)
+	if err := m.Write(0x0, []byte{1}); err == nil {
+		t.Fatal("below-base write accepted")
+	}
+	if err := m.Write(0x1FFF, []byte{1, 2}); err == nil {
+		t.Fatal("straddling-end write accepted")
+	}
+	if _, err := m.Read(0x2000, 1); err == nil {
+		t.Fatal("past-end read accepted")
+	}
+	if !m.InRange(0x1000, 0x1000) || m.InRange(0x1000, 0x1001) {
+		t.Fatal("InRange boundary wrong")
+	}
+}
+
+func TestRAMWords(t *testing.T) {
+	m := NewRAM(0, 0x1000)
+	if err := m.WriteWord(0x10, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(0x10)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("ReadWord = %#x, %v", v, err)
+	}
+	b, _ := m.Read(0x10, 4)
+	if b[0] != 0xEF {
+		t.Fatal("WriteWord is not little-endian")
+	}
+}
+
+func TestRAMZero(t *testing.T) {
+	m := NewRAM(0, 1<<20)
+	if err := m.Write(0, make([]byte, 2*pageSize)); err != nil {
+		t.Fatal(err)
+	}
+	// Fill with ones then zero a window crossing a page boundary.
+	ones := make([]byte, 2*pageSize)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	_ = m.Write(0, ones)
+	if err := m.Zero(100, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(0, 2*pageSize)
+	for i := 0; i < 100; i++ {
+		if got[i] != 0xFF {
+			t.Fatal("Zero clobbered prefix")
+		}
+	}
+	for i := 100; i < 100+pageSize; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	if got[100+pageSize] != 0xFF {
+		t.Fatal("Zero clobbered suffix")
+	}
+	if err := m.Zero(1<<20-1, 2); err == nil {
+		t.Fatal("out-of-range Zero accepted")
+	}
+}
+
+// Property: RAM write-then-read returns exactly the written bytes for any
+// offset/length inside bounds.
+func TestRAMPropertyRoundTrip(t *testing.T) {
+	m := NewRAM(0x4000_0000, 1<<22)
+	prop := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		addr := 0x4000_0000 + uint64(off)
+		if err := m.Write(addr, payload); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, len(payload))
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after carving a window out of an identity-mapped space,
+// addresses inside the window fault and addresses outside still resolve
+// to their identity translation.
+func TestPropertyCarveSplitsCorrectly(t *testing.T) {
+	prop := func(baseRaw, sizeRaw, carveOffRaw, carveSizeRaw uint8) bool {
+		base := uint64(baseRaw) * 0x1000
+		size := (uint64(sizeRaw%32) + 8) * 0x1000
+		s := NewStage2()
+		if err := s.Map(Region{Phys: base, Virt: base, Size: size, Flags: FlagRead}); err != nil {
+			return false
+		}
+		carveOff := (uint64(carveOffRaw) % 6) * 0x1000
+		carveSize := (uint64(carveSizeRaw%4) + 1) * 0x1000
+		if carveOff+carveSize > size {
+			return true // degenerate draw, skip
+		}
+		s.Carve(base+carveOff, carveSize)
+
+		// Probe every page.
+		for off := uint64(0); off < size; off += 0x1000 {
+			addr := base + off
+			inCarve := off >= carveOff && off < carveOff+carveSize
+			hpa, _, err := s.Resolve(addr, AccessRead)
+			if inCarve {
+				if err == nil {
+					return false // carved page still resolves
+				}
+			} else {
+				if err != nil || hpa != addr {
+					return false // surviving page lost its identity map
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCarveEdgeCases(t *testing.T) {
+	s := NewStage2()
+	_ = s.Map(Region{Phys: 0x1000, Virt: 0x1000, Size: 0x3000, Flags: FlagRead})
+	// Carving nothing that overlaps leaves the map intact.
+	if n := s.Carve(0x10000, 0x1000); n != 0 {
+		t.Fatalf("disjoint carve affected %d", n)
+	}
+	// Carving the whole region removes it entirely.
+	if n := s.Carve(0x1000, 0x3000); n != 1 {
+		t.Fatalf("full carve affected %d", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("regions left = %d", s.Len())
+	}
+}

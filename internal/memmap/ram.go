@@ -1,0 +1,132 @@
+package memmap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pageSize is the allocation granule of the sparse RAM. 4 KiB matches the
+// MMU granule, though nothing here depends on that.
+const pageSize = 4096
+
+// RAM is a sparse byte-addressable physical memory. Pages materialise on
+// first write; reads of untouched memory return zeroes, like freshly
+// powered DRAM after the boot loader cleared it.
+type RAM struct {
+	base  uint64
+	size  uint64
+	pages map[uint64][]byte // page index → page content
+}
+
+// NewRAM returns size bytes of physical memory starting at base.
+func NewRAM(base, size uint64) *RAM {
+	return &RAM{base: base, size: size, pages: make(map[uint64][]byte)}
+}
+
+// Base returns the first physical address of the RAM.
+func (m *RAM) Base() uint64 { return m.base }
+
+// Size returns the RAM size in bytes.
+func (m *RAM) Size() uint64 { return m.size }
+
+// InRange reports whether [addr, addr+n) lies entirely inside the RAM.
+func (m *RAM) InRange(addr uint64, n int) bool {
+	return addr >= m.base && addr-m.base+uint64(n) <= m.size && n >= 0
+}
+
+// errOOB builds the out-of-bounds access error.
+func (m *RAM) errOOB(addr uint64, n int) error {
+	return fmt.Errorf("memmap: physical access [%#x,+%d) outside RAM [%#x,+%#x)", addr, n, m.base, m.size)
+}
+
+// Read copies n bytes at physical address addr.
+func (m *RAM) Read(addr uint64, n int) ([]byte, error) {
+	if !m.InRange(addr, n) {
+		return nil, m.errOOB(addr, n)
+	}
+	out := make([]byte, n)
+	off := addr - m.base
+	for i := 0; i < n; {
+		page, pgOff := off/pageSize, off%pageSize
+		chunk := pageSize - pgOff
+		if rem := uint64(n - i); chunk > rem {
+			chunk = rem
+		}
+		if p, ok := m.pages[page]; ok {
+			copy(out[i:], p[pgOff:pgOff+chunk])
+		}
+		i += int(chunk)
+		off += chunk
+	}
+	return out, nil
+}
+
+// Write stores data at physical address addr.
+func (m *RAM) Write(addr uint64, data []byte) error {
+	if !m.InRange(addr, len(data)) {
+		return m.errOOB(addr, len(data))
+	}
+	off := addr - m.base
+	for i := 0; i < len(data); {
+		page, pgOff := off/pageSize, off%pageSize
+		p, ok := m.pages[page]
+		if !ok {
+			p = make([]byte, pageSize)
+			m.pages[page] = p
+		}
+		chunk := int(pageSize - pgOff)
+		if rem := len(data) - i; chunk > rem {
+			chunk = rem
+		}
+		copy(p[pgOff:], data[i:i+chunk])
+		i += chunk
+		off += uint64(chunk)
+	}
+	return nil
+}
+
+// ReadWord reads a little-endian 32-bit word.
+func (m *RAM) ReadWord(addr uint64) (uint32, error) {
+	b, err := m.Read(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// WriteWord stores a little-endian 32-bit word.
+func (m *RAM) WriteWord(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return m.Write(addr, b[:])
+}
+
+// Zero clears n bytes starting at addr (releasing whole pages where
+// possible, so large clears stay cheap).
+func (m *RAM) Zero(addr uint64, n int) error {
+	if !m.InRange(addr, n) {
+		return m.errOOB(addr, n)
+	}
+	off := addr - m.base
+	for i := 0; i < n; {
+		page, pgOff := off/pageSize, off%pageSize
+		chunk := int(pageSize - pgOff)
+		if rem := n - i; chunk > rem {
+			chunk = rem
+		}
+		if pgOff == 0 && chunk == pageSize {
+			delete(m.pages, page)
+		} else if p, ok := m.pages[page]; ok {
+			for j := 0; j < chunk; j++ {
+				p[int(pgOff)+j] = 0
+			}
+		}
+		i += chunk
+		off += uint64(chunk)
+	}
+	return nil
+}
+
+// PagesAllocated returns how many 4 KiB pages have been materialised;
+// useful for verifying that simulations stay sparse.
+func (m *RAM) PagesAllocated() int { return len(m.pages) }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrHalted is returned by Run when the machine was halted by a component
+// (for example after a system-wide hypervisor panic) before the requested
+// horizon was reached. Reaching the horizon normally is not an error.
+var ErrHalted = errors.New("sim: engine halted")
+
+// Event is a scheduled callback. The callback runs with the engine's
+// current virtual time equal to the event deadline.
+type Event struct {
+	when Time
+	seq  uint64 // tie-breaker: FIFO among same-instant events
+	fn   func()
+	// canceled events stay in the heap but are skipped when popped;
+	// this keeps cancellation O(1).
+	canceled bool
+	idx      int
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the deterministic event loop that drives one simulated machine.
+// It is not safe for concurrent use; one goroutine owns one engine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *RNG
+	trace   *Trace
+	halted  bool
+	haltMsg string
+}
+
+// NewEngine returns an engine at time zero with the given seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRNG(seed),
+		trace: NewTrace(),
+	}
+}
+
+// Now returns current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Trace returns the engine's event trace.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// Schedule enqueues fn to run at absolute virtual time when. Times in the
+// past are clamped to "now" (the event still runs, after already-queued
+// events for the current instant). The returned handle can cancel it.
+func (e *Engine) Schedule(when Time, fn func()) *Event {
+	if when < e.now {
+		when = e.now
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d after the current instant.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn at now+d, then every d thereafter, until the returned
+// cancel function is called or the engine halts.
+func (e *Engine) Every(d Time, fn func()) (cancel func()) {
+	if d <= 0 {
+		d = Nanosecond
+	}
+	stopped := false
+	var current *Event
+	var tick func()
+	tick = func() {
+		if stopped || e.halted {
+			return
+		}
+		fn()
+		if !stopped && !e.halted {
+			current = e.After(d, tick)
+		}
+	}
+	current = e.After(d, tick)
+	return func() {
+		stopped = true
+		current.Cancel()
+	}
+}
+
+// Halt stops the run: Run returns ErrHalted once the current event
+// completes. Components call this to model system-wide death (e.g. the
+// hypervisor's panic_stop bringing every CPU down).
+func (e *Engine) Halt(reason string) {
+	if !e.halted {
+		e.halted = true
+		e.haltMsg = reason
+	}
+}
+
+// Halted reports whether Halt was called, and the recorded reason.
+func (e *Engine) Halted() (bool, string) { return e.halted, e.haltMsg }
+
+// Run executes events in order until the queue is empty, the horizon is
+// passed, or the engine is halted. The engine's clock ends at exactly
+// horizon when the horizon is reached normally.
+func (e *Engine) Run(horizon Time) error {
+	for len(e.queue) > 0 {
+		if e.halted {
+			return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
+		}
+		next := e.queue[0]
+		if next.when > horizon {
+			break
+		}
+		popped, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			continue
+		}
+		if popped.canceled {
+			continue
+		}
+		e.now = popped.when
+		popped.fn()
+	}
+	if e.halted {
+		return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Step executes exactly one pending event (skipping canceled ones) and
+// reports whether an event ran. Used by tests that need fine-grained
+// control over interleaving.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		popped, ok := heap.Pop(&e.queue).(*Event)
+		if !ok || popped.canceled {
+			continue
+		}
+		e.now = popped.when
+		popped.fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of events currently queued, including
+// canceled-but-unpopped ones. Diagnostic only.
+func (e *Engine) Pending() int { return len(e.queue) }

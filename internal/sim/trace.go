@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Kind classifies trace records so analytics can filter cheaply.
+type Kind uint8
+
+// Trace record kinds. They cover every observable the paper's test
+// framework collected from the serial line plus hypervisor-internal
+// events the real rig could not see (useful for debugging the rig itself).
+const (
+	KindBoot Kind = iota + 1
+	KindUART
+	KindIRQ
+	KindTrap
+	KindHypercall
+	KindInjection
+	KindCellEvent
+	KindPanic
+	KindPark
+	KindLED
+	KindTask
+	KindNote
+)
+
+var kindNames = map[Kind]string{
+	KindBoot:      "BOOT",
+	KindUART:      "UART",
+	KindIRQ:       "IRQ",
+	KindTrap:      "TRAP",
+	KindHypercall: "HVC",
+	KindInjection: "INJECT",
+	KindCellEvent: "CELL",
+	KindPanic:     "PANIC",
+	KindPark:      "PARK",
+	KindLED:       "LED",
+	KindTask:      "TASK",
+	KindNote:      "NOTE",
+}
+
+// String returns the short uppercase tag for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// Record is one timestamped trace entry.
+type Record struct {
+	At   Time
+	Kind Kind
+	CPU  int // -1 when not CPU-specific
+	Msg  string
+}
+
+// String renders the record in the log style used throughout the repo.
+func (r Record) String() string {
+	cpu := "  -"
+	if r.CPU >= 0 {
+		cpu = fmt.Sprintf("cpu%d", r.CPU)
+	}
+	return fmt.Sprintf("%s %-6s %s %s", r.At, r.Kind, cpu, r.Msg)
+}
+
+// Trace accumulates records for one run. It is deliberately append-only;
+// classifiers and analytics read it after the run completes.
+type Trace struct {
+	records []Record
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add appends a record.
+func (t *Trace) Add(at Time, kind Kind, cpu int, format string, args ...any) {
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	t.records = append(t.records, Record{At: at, Kind: kind, CPU: cpu, Msg: msg})
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.records) }
+
+// Records returns a copy of all records (copy keeps callers from mutating
+// the trace; traces are small relative to run cost).
+func (t *Trace) Records() []Record {
+	out := make([]Record, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// Filter returns records of the given kind, in order.
+func (t *Trace) Filter(kind Kind) []Record {
+	var out []Record
+	for _, r := range t.records {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns how many records have the given kind.
+func (t *Trace) Count(kind Kind) int {
+	n := 0
+	for _, r := range t.records {
+		if r.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountsByKind returns a map kind → record count.
+func (t *Trace) CountsByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, r := range t.records {
+		m[r.Kind]++
+	}
+	return m
+}
+
+// Contains reports whether any record's message contains substr.
+func (t *Trace) Contains(substr string) bool {
+	for _, r := range t.records {
+		if strings.Contains(r.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Hash returns a stable FNV-1a digest of the full trace. Two runs with the
+// same seed and configuration must produce identical hashes; the
+// determinism property tests rely on this.
+func (t *Trace) Hash() uint64 {
+	h := fnv.New64a()
+	for _, r := range t.records {
+		fmt.Fprintf(h, "%d|%d|%d|%s\n", r.At, r.Kind, r.CPU, r.Msg)
+	}
+	return h.Sum64()
+}
+
+// Dump renders the whole trace as a multi-line string, optionally limited
+// to the given kinds (no kinds = everything).
+func (t *Trace) Dump(kinds ...Kind) string {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var b strings.Builder
+	for _, r := range t.records {
+		if len(kinds) == 0 || want[r.Kind] {
+			b.WriteString(r.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Summary renders "KIND=count" pairs sorted by kind for quick inspection.
+func (t *Trace) Summary() string {
+	counts := t.CountsByKind()
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", Kind(k), counts[Kind(k)]))
+	}
+	return strings.Join(parts, " ")
+}

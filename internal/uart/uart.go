@@ -1,0 +1,178 @@
+// Package uart models the 8250/16550-class serial ports of the Allwinner
+// A20. The serial line is the paper's only observation channel: every
+// outcome in Figure 3 was classified from what did — or did not — appear
+// on the board's UARTs. The model therefore captures transmitted bytes
+// with virtual timestamps so the classifier can ask questions like "did
+// the non-root cell produce any output after the injection?".
+package uart
+
+import (
+	"strings"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// 16550 register offsets (in 32-bit register units ×4, as the A20 maps them).
+const (
+	RegTHR = 0x00 // transmit holding (write)
+	RegRBR = 0x00 // receive buffer (read)
+	RegIER = 0x04 // interrupt enable
+	RegFCR = 0x08 // FIFO control (write)
+	RegLCR = 0x0C // line control
+	RegLSR = 0x14 // line status
+)
+
+// LSR bits.
+const (
+	LSRDataReady    = 1 << 0
+	LSRTHREmpty     = 1 << 5
+	LSRTransmitDone = 1 << 6
+)
+
+// RegionSize is the MMIO window size of one UART.
+const RegionSize = 0x400
+
+// Line is one captured output line with the virtual time of its final byte.
+type Line struct {
+	At   sim.Time
+	Text string
+}
+
+// UART is a functional serial port. Transmission is instantaneous (the
+// experiments measure liveness, not baud rates); every byte is captured.
+type UART struct {
+	name  string
+	now   func() sim.Time
+	ier   uint32
+	lcr   uint32
+	txLog []byte
+	lines []Line
+	cur   strings.Builder
+
+	// OnLine, when set, is called for each completed output line.
+	OnLine func(Line)
+}
+
+// New returns a UART named name (e.g. "uart0"). now supplies virtual time
+// for capture timestamps.
+func New(name string, now func() sim.Time) *UART {
+	return &UART{name: name, now: now}
+}
+
+// Name returns the device name.
+func (u *UART) Name() string { return u.name }
+
+// PutByte transmits one byte.
+func (u *UART) PutByte(b byte) {
+	u.txLog = append(u.txLog, b)
+	if b == '\n' {
+		line := Line{At: u.now(), Text: u.cur.String()}
+		u.lines = append(u.lines, line)
+		u.cur.Reset()
+		if u.OnLine != nil {
+			u.OnLine(line)
+		}
+		return
+	}
+	if b != '\r' {
+		u.cur.WriteByte(b)
+	}
+}
+
+// PutString transmits a string.
+func (u *UART) PutString(s string) {
+	for i := 0; i < len(s); i++ {
+		u.PutByte(s[i])
+	}
+}
+
+// ReadReg implements the MMIO read interface.
+func (u *UART) ReadReg(offset uint64) (uint32, error) {
+	switch offset {
+	case RegRBR:
+		return 0, nil // no receive path modelled
+	case RegIER:
+		return u.ier, nil
+	case RegLCR:
+		return u.lcr, nil
+	case RegLSR:
+		// Always ready to transmit: guests never need to spin.
+		return LSRTHREmpty | LSRTransmitDone, nil
+	default:
+		return 0, nil // unmodelled registers read as zero
+	}
+}
+
+// WriteReg implements the MMIO write interface.
+func (u *UART) WriteReg(offset uint64, value uint32) error {
+	switch offset {
+	case RegTHR:
+		u.PutByte(byte(value))
+	case RegIER:
+		u.ier = value
+	case RegLCR:
+		u.lcr = value
+	}
+	return nil
+}
+
+// Bytes returns a copy of everything transmitted so far.
+func (u *UART) Bytes() []byte {
+	out := make([]byte, len(u.txLog))
+	copy(out, u.txLog)
+	return out
+}
+
+// Lines returns all completed output lines.
+func (u *UART) Lines() []Line {
+	out := make([]Line, len(u.lines))
+	copy(out, u.lines)
+	return out
+}
+
+// LineCount returns the number of completed lines.
+func (u *UART) LineCount() int { return len(u.lines) }
+
+// LastActivity returns the timestamp of the most recent completed line and
+// whether any line has completed at all. A blank USART — the paper's E2
+// signature — shows up as ok == false.
+func (u *UART) LastActivity() (sim.Time, bool) {
+	if len(u.lines) == 0 {
+		return 0, false
+	}
+	return u.lines[len(u.lines)-1].At, true
+}
+
+// LinesAfter returns the completed lines with timestamps strictly after t.
+func (u *UART) LinesAfter(t sim.Time) []Line {
+	var out []Line
+	for _, l := range u.lines {
+		if l.At > t {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Contains reports whether any completed line contains substr.
+func (u *UART) Contains(substr string) bool {
+	for _, l := range u.lines {
+		if strings.Contains(l.Text, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transcript renders all completed lines, newline-separated — the "log
+// file" of the paper's framework.
+func (u *UART) Transcript() string {
+	var b strings.Builder
+	for _, l := range u.lines {
+		b.WriteString(l.At.String())
+		b.WriteByte(' ')
+		b.WriteString(l.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

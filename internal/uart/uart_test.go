@@ -1,0 +1,113 @@
+package uart
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func fixedClock(t sim.Time) func() sim.Time {
+	return func() sim.Time { return t }
+}
+
+func TestWriteStringCapturesLines(t *testing.T) {
+	now := sim.Time(0)
+	u := New("uart0", func() sim.Time { return now })
+	u.PutString("hello\n")
+	now = 5 * sim.Second
+	u.PutString("world")
+	if u.LineCount() != 1 {
+		t.Fatalf("LineCount = %d, want 1 (second line incomplete)", u.LineCount())
+	}
+	u.PutByte('\n')
+	lines := u.Lines()
+	if len(lines) != 2 || lines[0].Text != "hello" || lines[1].Text != "world" {
+		t.Fatalf("Lines = %v", lines)
+	}
+	if lines[0].At != 0 || lines[1].At != 5*sim.Second {
+		t.Fatalf("timestamps = %v %v", lines[0].At, lines[1].At)
+	}
+}
+
+func TestCarriageReturnStripped(t *testing.T) {
+	u := New("uart0", fixedClock(0))
+	u.PutString("abc\r\n")
+	if got := u.Lines()[0].Text; got != "abc" {
+		t.Fatalf("line = %q", got)
+	}
+}
+
+func TestOnLineCallback(t *testing.T) {
+	u := New("uart0", fixedClock(7))
+	var got []Line
+	u.OnLine = func(l Line) { got = append(got, l) }
+	u.PutString("one\ntwo\n")
+	if len(got) != 2 || got[1].Text != "two" {
+		t.Fatalf("callback lines = %v", got)
+	}
+}
+
+func TestMMIOTHRWrite(t *testing.T) {
+	u := New("uart0", fixedClock(0))
+	for _, b := range []byte("ok\n") {
+		if err := u.WriteReg(RegTHR, uint32(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !u.Contains("ok") {
+		t.Fatal("MMIO path did not capture")
+	}
+}
+
+func TestMMIORegisters(t *testing.T) {
+	u := New("uart0", fixedClock(0))
+	if err := u.WriteReg(RegIER, 0x5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.ReadReg(RegIER)
+	if err != nil || v != 0x5 {
+		t.Fatalf("IER = %#x, %v", v, err)
+	}
+	lsr, _ := u.ReadReg(RegLSR)
+	if lsr&LSRTHREmpty == 0 {
+		t.Fatal("LSR must report THR empty")
+	}
+	if v, _ := u.ReadReg(RegRBR); v != 0 {
+		t.Fatalf("RBR = %#x", v)
+	}
+	if v, _ := u.ReadReg(0x3C); v != 0 {
+		t.Fatal("unmodelled register must read 0")
+	}
+}
+
+func TestLastActivityAndLinesAfter(t *testing.T) {
+	now := sim.Time(0)
+	u := New("uart7", func() sim.Time { return now })
+	if _, ok := u.LastActivity(); ok {
+		t.Fatal("fresh UART reports activity — the E2 'blank USART' check depends on this")
+	}
+	u.PutString("boot\n")
+	now = 10 * sim.Second
+	u.PutString("tick\n")
+	at, ok := u.LastActivity()
+	if !ok || at != 10*sim.Second {
+		t.Fatalf("LastActivity = %v %v", at, ok)
+	}
+	after := u.LinesAfter(5 * sim.Second)
+	if len(after) != 1 || after[0].Text != "tick" {
+		t.Fatalf("LinesAfter = %v", after)
+	}
+}
+
+func TestTranscriptAndBytes(t *testing.T) {
+	u := New("uart0", fixedClock(1042*sim.Millisecond))
+	u.PutString("Kernel panic - not syncing\n")
+	tr := u.Transcript()
+	if !strings.Contains(tr, "[    1.042]") || !strings.Contains(tr, "not syncing") {
+		t.Fatalf("Transcript = %q", tr)
+	}
+	if string(u.Bytes()) != "Kernel panic - not syncing\n" {
+		t.Fatalf("Bytes = %q", u.Bytes())
+	}
+}
