@@ -11,6 +11,7 @@ package certify_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/dessertlab/certify/internal/analytics"
@@ -168,6 +169,42 @@ func BenchmarkS1SEooCAssessment(b *testing.B) {
 		violated = report.Violated()
 	}
 	b.ReportMetric(float64(violated), "violated_claims")
+}
+
+// BenchmarkCampaignThroughput is the repo's perf trajectory anchor: the
+// campaign pipeline's sustained rate in runs per wall-clock second, at
+// three campaign sizes and in both retention modes. Distribution mode
+// streams runs into counters (no transcripts, no retained results) and is
+// the configuration production-scale campaigns use; Full mode is the
+// dossier configuration. Compare the runs_per_sec metric across PRs.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	base := *core.PlanE3Fig3()
+	base.Duration = 5 * sim.Second
+	base.Name = "E3-throughput"
+	for _, n := range []int{40, 400, 4000} {
+		for _, mode := range []core.CampaignMode{core.ModeFull, core.ModeDistribution} {
+			n, mode := n, mode
+			b.Run(fmt.Sprintf("runs-%d/%s", n, mode), func(b *testing.B) {
+				plan := base
+				var last *core.CampaignResult
+				// Fixed master seed: every iteration runs the identical
+				// campaign, so the reported metrics are comparable across
+				// -benchtime settings and across PRs.
+				for i := 0; i < b.N; i++ {
+					c := &core.Campaign{Plan: &plan, Runs: n, MasterSeed: 2022, Mode: mode}
+					res, err := c.Execute(context.Background())
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(n)*float64(b.N)/secs, "runs_per_sec")
+				}
+				b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
+			})
+		}
+	}
 }
 
 // ---- Micro-benchmarks of the hot paths ----

@@ -175,6 +175,7 @@ func cmdCampaign(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
 	outDir := fs.String("out", "", "directory to write per-run JSON artefacts")
+	mode := fs.String("mode", "full", "evidence retention: full (transcripts + per-run artefacts) or distribution (streaming aggregation, fastest)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -182,8 +183,19 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
+	cmode := core.ModeFull
+	switch *mode {
+	case "full":
+	case "distribution", "dist":
+		cmode = core.ModeDistribution
+		if *outDir != "" {
+			return fmt.Errorf("-out requires -mode full (distribution mode retains no per-run artefacts)")
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (want full or distribution)", *mode)
+	}
 	fmt.Println("plan:", plan)
-	c := &core.Campaign{Plan: plan, Runs: *runs, MasterSeed: *seed}
+	c := &core.Campaign{Plan: plan, Runs: *runs, MasterSeed: *seed, Mode: cmode}
 	res, err := c.Execute(context.Background())
 	if err != nil {
 		return err
@@ -204,7 +216,9 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Print(d.Bars(50))
 	fmt.Println()
-	fmt.Print(analytics.InjectionSummary(res))
+	if cmode == core.ModeFull {
+		fmt.Print(analytics.InjectionSummary(res))
+	}
 	return nil
 }
 

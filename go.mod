@@ -1,0 +1,3 @@
+module github.com/dessertlab/certify
+
+go 1.24

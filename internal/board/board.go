@@ -82,15 +82,63 @@ type Board struct {
 	mmio   []mmioRange
 }
 
+// Scratch holds the reusable heavy buffers of a board — the engine (event
+// slab, heap, trace) and the UART capture buffers. A campaign worker keeps
+// one Scratch and threads it through consecutive board builds so each run
+// recycles the previous run's allocations. Never share between goroutines.
+type Scratch struct {
+	Engine *sim.Engine
+	UART0  *uart.UART
+	UART7  *uart.UART
+}
+
+// Options tunes board assembly.
+type Options struct {
+	// Scratch, when non-nil, recycles buffers from a previous board. Empty
+	// fields are populated on first use so the next build reuses them.
+	Scratch *Scratch
+	// NoByteCapture disables the UARTs' raw transmitted-byte logs (line
+	// capture is unaffected). Distribution-mode campaigns set this.
+	NoByteCapture bool
+}
+
 // New builds a powered-on board with the given deterministic seed.
 func New(seed uint64) *Board {
-	eng := sim.NewEngine(seed)
+	return NewWithOptions(seed, Options{})
+}
+
+// NewWithOptions builds a powered-on board, optionally recycling the
+// reusable buffers held in opts.Scratch.
+func NewWithOptions(seed uint64, opts Options) *Board {
+	s := opts.Scratch
+	if s == nil {
+		s = &Scratch{} // throwaway: same create path, nothing recycled
+	}
+	if s.Engine == nil {
+		s.Engine = sim.NewEngine(seed)
+	} else {
+		s.Engine.Reset(seed)
+	}
+	eng := s.Engine
+	if s.UART0 == nil {
+		s.UART0 = uart.New("uart0", eng.Now)
+	} else {
+		s.UART0.Reset("uart0", eng.Now)
+	}
+	if s.UART7 == nil {
+		s.UART7 = uart.New("uart7", eng.Now)
+	} else {
+		s.UART7.Reset("uart7", eng.Now)
+	}
+	u0, u7 := s.UART0, s.UART7
+	u0.SetCaptureBytes(!opts.NoByteCapture)
+	u7.SetCaptureBytes(!opts.NoByteCapture)
 	b := &Board{
 		Engine: eng,
 		RAM:    memmap.NewRAM(DRAMBase, DRAMSize),
 		GIC:    gic.New(NumCPUs),
-		UART0:  uart.New("uart0", eng.Now),
-		UART7:  uart.New("uart7", eng.Now),
+		UART0:  u0,
+		UART7:  u7,
 		GPIO:   gpio.New(eng.Now),
 		timers: make([]Timer, NumCPUs),
 	}

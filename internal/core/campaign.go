@@ -9,25 +9,61 @@ import (
 	"github.com/dessertlab/certify/internal/sim"
 )
 
-// CampaignResult aggregates a batch of runs of one plan.
+// CampaignMode selects how much per-run evidence a campaign retains.
+type CampaignMode uint8
+
+const (
+	// ModeFull retains every RunResult with full transcripts and
+	// per-point call counts — the certification-dossier configuration.
+	ModeFull CampaignMode = iota
+	// ModeDistribution streams each run into aggregate counters and
+	// drops the run immediately after classification: no transcripts, no
+	// retained []*RunResult. Use it for large campaigns where only the
+	// outcome distribution (Figure 3 shape) matters. Aggregates are
+	// identical to ModeFull for the same MasterSeed.
+	ModeDistribution
+)
+
+// String names the mode for logs and CLI flags.
+func (m CampaignMode) String() string {
+	if m == ModeDistribution {
+		return "distribution"
+	}
+	return "full"
+}
+
+// CampaignResult aggregates a batch of runs of one plan. The zero value
+// is a valid empty result; workers fold runs into private results and the
+// campaign merges them with MergeFrom.
 type CampaignResult struct {
-	Plan    string
-	Runs    []*RunResult
-	byClass map[Outcome]int
+	Plan string
+	// Runs holds the per-run records in ModeFull; empty in
+	// ModeDistribution, where only the counters below survive. It is
+	// read-only output: the aggregate accessors (Total, Fraction,
+	// InjectionsTotal, ...) answer from internal counters maintained by
+	// addRun/MergeFrom, so populating or trimming Runs by hand does not
+	// update them.
+	Runs []*RunResult
+
+	byClass    map[Outcome]int
+	total      int
+	injections int
+	detectSum  sim.Time
+	detectN    int
 }
 
 // Count returns how many runs ended in the given outcome.
 func (c *CampaignResult) Count(o Outcome) int { return c.byClass[o] }
 
 // Total returns the number of completed runs.
-func (c *CampaignResult) Total() int { return len(c.Runs) }
+func (c *CampaignResult) Total() int { return c.total }
 
 // Fraction returns the share of runs with the given outcome in [0,1].
 func (c *CampaignResult) Fraction(o Outcome) float64 {
-	if len(c.Runs) == 0 {
+	if c.total == 0 {
 		return 0
 	}
-	return float64(c.byClass[o]) / float64(len(c.Runs))
+	return float64(c.byClass[o]) / float64(c.total)
 }
 
 // Distribution returns outcome → count for all classes (including zero
@@ -41,17 +77,66 @@ func (c *CampaignResult) Distribution() map[Outcome]int {
 }
 
 // InjectionsTotal sums performed injections across runs.
-func (c *CampaignResult) InjectionsTotal() int {
-	n := 0
-	for _, r := range c.Runs {
-		n += len(r.Injections)
+func (c *CampaignResult) InjectionsTotal() int { return c.injections }
+
+// MeanDetectionLatency averages the detection latency over the runs that
+// detected a failure (park or panic); -1 when none did.
+func (c *CampaignResult) MeanDetectionLatency() sim.Time {
+	if c.detectN == 0 {
+		return -1
 	}
-	return n
+	return c.detectSum / sim.Time(c.detectN)
+}
+
+// addRun folds one classified run into the aggregate. retain keeps the
+// RunResult itself (ModeFull); otherwise only the counters are updated
+// and the run becomes garbage immediately.
+func (c *CampaignResult) addRun(r *RunResult, retain bool) {
+	if c.byClass == nil {
+		c.byClass = make(map[Outcome]int, int(numOutcomes))
+	}
+	c.byClass[r.Outcome()]++
+	c.total++
+	c.injections += len(r.Injections)
+	if r.DetectionLatency >= 0 {
+		c.detectSum += r.DetectionLatency
+		c.detectN++
+	}
+	if retain {
+		c.Runs = append(c.Runs, r)
+	}
+}
+
+// MergeFrom folds another result's aggregates (and any retained runs)
+// into c. Counters are commutative, so per-worker partial results merge
+// into the same totals regardless of scheduling order — the property that
+// keeps parallel campaigns seed-reproducible.
+func (c *CampaignResult) MergeFrom(o *CampaignResult) {
+	if o == nil {
+		return
+	}
+	if c.Plan == "" {
+		c.Plan = o.Plan
+	}
+	if len(o.byClass) > 0 && c.byClass == nil {
+		c.byClass = make(map[Outcome]int, int(numOutcomes))
+	}
+	for k, v := range o.byClass {
+		c.byClass[k] += v
+	}
+	c.total += o.total
+	c.injections += o.injections
+	c.detectSum += o.detectSum
+	c.detectN += o.detectN
+	c.Runs = append(c.Runs, o.Runs...)
 }
 
 // Campaign runs a plan N times with independent derived seeds, fanning
 // out across workers. Every run is an isolated deterministic machine, so
 // parallelism cannot perturb results; the aggregate is seed-reproducible.
+// Each worker keeps one RunScratch, so consecutive runs recycle the
+// engine's event slab, the trace buffers and the UART capture buffers
+// instead of cold-allocating the whole stack per run.
 type Campaign struct {
 	// Plan to execute.
 	Plan *TestPlan
@@ -61,6 +146,8 @@ type Campaign struct {
 	MasterSeed uint64
 	// Workers bounds parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// Mode selects evidence retention; the zero value is ModeFull.
+	Mode CampaignMode
 }
 
 // Execute runs the campaign. ctx cancellation stops scheduling new runs
@@ -91,17 +178,39 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 		seeds[i] = sim.SplitMix64(&state)
 	}
 
-	results := make([]*RunResult, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	work := make(chan int)
+	retain := c.Mode == ModeFull
+	var (
+		results []*RunResult // ModeFull: per-index, preserves seed order
+		partial = make([]*CampaignResult, 0, workers)
+		errs    = make([]error, n)
+		wg      sync.WaitGroup
+		work    = make(chan int)
+	)
+	if retain {
+		results = make([]*RunResult, n)
+	}
 
 	for w := 0; w < workers; w++ {
+		var local *CampaignResult
+		if !retain {
+			local = &CampaignResult{Plan: c.Plan.Name}
+			partial = append(partial, local)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ro := RunOptions{Mode: c.Mode, Scratch: NewRunScratch()}
 			for idx := range work {
-				results[idx], errs[idx] = RunExperiment(c.Plan, seeds[idx])
+				r, err := RunExperimentOpts(c.Plan, seeds[idx], ro)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				if retain {
+					results[idx] = r
+				} else {
+					local.addRun(r, false)
+				}
 			}
 		}()
 	}
@@ -116,18 +225,25 @@ feed:
 	close(work)
 	wg.Wait()
 
-	agg := &CampaignResult{Plan: c.Plan.Name, byClass: make(map[Outcome]int)}
-	for i, r := range results {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("run %d (seed %#x): %w", i, seeds[i], errs[i])
+	agg := &CampaignResult{Plan: c.Plan.Name}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("run %d (seed %#x): %w", i, seeds[i], err)
 		}
-		if r == nil {
-			continue // cancelled before scheduling
-		}
-		agg.Runs = append(agg.Runs, r)
-		agg.byClass[r.Outcome()]++
 	}
-	if len(agg.Runs) == 0 {
+	if retain {
+		for _, r := range results {
+			if r == nil {
+				continue // cancelled before scheduling
+			}
+			agg.addRun(r, true)
+		}
+	} else {
+		for _, p := range partial {
+			agg.MergeFrom(p)
+		}
+	}
+	if agg.total == 0 {
 		return nil, fmt.Errorf("core: campaign produced no runs (cancelled?)")
 	}
 	return agg, nil

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dessertlab/certify/internal/jailhouse"
 	"github.com/dessertlab/certify/internal/sim"
+	"github.com/dessertlab/certify/internal/uart"
 )
 
 // Outcome is the classifier's verdict for one run, using the paper's
@@ -114,12 +115,13 @@ func Classify(m *Machine) Verdict {
 		addf("cpu%d parked: %s", cpu, p.ParkReason)
 		spokeAfterStart := false
 		if m.Linux != nil {
-			for _, l := range m.Board.UART7.LinesAfter(m.Linux.LastStartAt) {
+			m.Board.UART7.ScanLinesAfter(m.Linux.LastStartAt, func(l uart.Line) bool {
 				if strings.Contains(l.Text, "[") { // any workload line
 					spokeAfterStart = true
-					break
+					return false
 				}
-			}
+				return true
+			})
 		}
 		if spokeAfterStart {
 			return Verdict{Outcome: OutcomeCPUPark, Evidence: ev}
@@ -192,10 +194,11 @@ func Classify(m *Machine) Verdict {
 // countToolFailures counts the root tool's errno lines on UART0.
 func countToolFailures(m *Machine) int {
 	n := 0
-	for _, l := range m.Board.UART0.Lines() {
+	m.Board.UART0.ScanLines(func(l uart.Line) bool {
 		if strings.Contains(l.Text, "jailhouse:") && strings.Contains(l.Text, "failed") {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"github.com/dessertlab/certify/internal/armv7"
-	"github.com/dessertlab/certify/internal/sim"
 )
 
 // JSON export of run artefacts — the machine-readable form of the log
@@ -114,21 +113,4 @@ func (c *CampaignResult) ExportJSON() ([]byte, error) {
 		MeanDetectNS: int64(c.MeanDetectionLatency()),
 	}
 	return json.MarshalIndent(exp, "", "  ")
-}
-
-// MeanDetectionLatency averages the detection latency over the runs that
-// detected a failure (park or panic); -1 when none did.
-func (c *CampaignResult) MeanDetectionLatency() sim.Time {
-	var total sim.Time
-	n := 0
-	for _, r := range c.Runs {
-		if r.DetectionLatency >= 0 {
-			total += r.DetectionLatency
-			n++
-		}
-	}
-	if n == 0 {
-		return -1
-	}
-	return total / sim.Time(n)
 }

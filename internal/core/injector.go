@@ -96,6 +96,15 @@ func (in *Injector) Records() []InjectionRecord {
 	return out
 }
 
+// FirstInjectionAt returns the virtual time of the first performed
+// injection, or -1 when none happened.
+func (in *Injector) FirstInjectionAt() sim.Time {
+	if len(in.records) == 0 {
+		return -1
+	}
+	return in.records[0].At
+}
+
 // Calls returns how many filter-matching calls each point has seen —
 // the golden-run profiling counters that led the paper to its three
 // candidate functions.

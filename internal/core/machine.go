@@ -48,7 +48,24 @@ type MachineOptions struct {
 	DelayedCreateAt sim.Time
 	// StateWatchdog arms the periodic "jailhouse cell state" probe.
 	StateWatchdog bool
+	// Scratch, when non-nil, recycles the engine (event slab, heap,
+	// trace) and UART buffers of a previous build — the campaign
+	// workers' machine-reuse path. Never share between goroutines.
+	Scratch *RunScratch
+	// LeanCapture disables the UARTs' raw byte logs; line capture (the
+	// classifier's channel) is unaffected. Set by Distribution mode.
+	LeanCapture bool
 }
+
+// RunScratch carries the reusable buffers one campaign worker threads
+// through consecutive machine builds.
+type RunScratch struct {
+	board board.Scratch
+}
+
+// NewRunScratch returns an empty scratch; buffers materialise on first
+// use and are recycled on every following build.
+func NewRunScratch() *RunScratch { return &RunScratch{} }
 
 // DefaultMachineOptions returns the configuration of the paper's main
 // workload: cell started, state watchdog on.
@@ -60,7 +77,11 @@ func DefaultMachineOptions(seed uint64) MachineOptions {
 // hypervisor enable, FreeRTOS cell create/load/start. The returned
 // machine is ready for its engine to run the experiment horizon.
 func BuildMachine(opts MachineOptions) (*Machine, error) {
-	brd := board.New(opts.Seed)
+	bopts := board.Options{NoByteCapture: opts.LeanCapture}
+	if opts.Scratch != nil {
+		bopts.Scratch = &opts.Scratch.board
+	}
+	brd := board.NewWithOptions(opts.Seed, bopts)
 	hv := jailhouse.New(brd)
 	linux := rootlinux.New(hv)
 

@@ -41,13 +41,34 @@ type RunResult struct {
 // Outcome is shorthand for the verdict's outcome.
 func (r *RunResult) Outcome() Outcome { return r.Verdict.Outcome }
 
-// RunExperiment executes one fault-injection run: build the machine for
-// the plan's workload, arm the injector, run the horizon, classify.
+// RunOptions tunes one experiment execution.
+type RunOptions struct {
+	// Mode selects evidence retention: ModeFull builds transcripts and
+	// call-count maps; ModeDistribution skips them, keeping only what the
+	// classifier and the streaming aggregator need.
+	Mode CampaignMode
+	// Scratch, when non-nil, recycles the engine/trace/UART buffers of a
+	// previous run on the same worker. Never share between goroutines.
+	Scratch *RunScratch
+}
+
+// RunExperiment executes one fault-injection run with full evidence
+// retention: build the machine for the plan's workload, arm the injector,
+// run the horizon, classify.
 func RunExperiment(plan *TestPlan, seed uint64) (*RunResult, error) {
+	return RunExperimentOpts(plan, seed, RunOptions{})
+}
+
+// RunExperimentOpts is RunExperiment with explicit retention mode and
+// scratch reuse — the campaign workers' entry point.
+func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	opts := MachineOptions{Seed: seed, StateWatchdog: true}
+	opts := MachineOptions{Seed: seed, StateWatchdog: true, Scratch: ro.Scratch}
+	if ro.Mode == ModeDistribution {
+		opts.LeanCapture = true
+	}
 	switch plan.Workload {
 	case WorkloadManagement:
 		opts.RecreateLoop = true
@@ -85,13 +106,15 @@ func RunExperiment(plan *TestPlan, seed uint64) (*RunResult, error) {
 		Seed:             seed,
 		Verdict:          Classify(m),
 		Injections:       inj.Records(),
-		CallCounts:       inj.Calls(),
-		RootTranscript:   m.Board.UART0.Transcript(),
-		CellTranscript:   m.Board.UART7.Transcript(),
-		HVConsole:        append([]string(nil), m.HV.ConsoleLines...),
 		CellLines:        m.Board.UART7.LineCount(),
 		Horizon:          m.Board.Now(),
-		DetectionLatency: detectionLatency(m, inj.Records()),
+		DetectionLatency: detectionLatency(m, inj.FirstInjectionAt()),
+	}
+	if ro.Mode == ModeFull {
+		res.CallCounts = inj.Calls()
+		res.RootTranscript = m.Board.UART0.Transcript()
+		res.CellTranscript = m.Board.UART7.Transcript()
+		res.HVConsole = append([]string(nil), m.HV.ConsoleLines...)
 	}
 	if m.RTOS != nil {
 		res.LEDToggles = m.RTOS.LEDToggleCount()
@@ -100,17 +123,21 @@ func RunExperiment(plan *TestPlan, seed uint64) (*RunResult, error) {
 }
 
 // detectionLatency measures first-injection → first park/panic evidence.
-func detectionLatency(m *Machine, injections []InjectionRecord) sim.Time {
-	if len(injections) == 0 {
+// first is the virtual time of the first injection (-1 when none
+// happened). The trace is scanned in place without rendering messages.
+func detectionLatency(m *Machine, first sim.Time) sim.Time {
+	if first < 0 {
 		return -1
 	}
-	first := injections[0].At
-	for _, rec := range m.Board.Trace().Records() {
-		if (rec.Kind == sim.KindPark || rec.Kind == sim.KindPanic) && rec.At >= first {
-			return rec.At - first
+	latency := sim.Time(-1)
+	m.Board.Trace().ScanMeta(func(at sim.Time, kind sim.Kind, _ int) bool {
+		if (kind == sim.KindPark || kind == sim.KindPanic) && at >= first {
+			latency = at - first
+			return false
 		}
-	}
-	return -1
+		return true
+	})
+	return latency
 }
 
 // GoldenProfile is the result of a fault-free profiling run: activation

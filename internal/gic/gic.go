@@ -47,6 +47,7 @@ type perCPU struct {
 	sgiSrc  map[int]int // pending SGI id → source CPU
 	priMask uint8       // GICC_PMR: only priorities < mask are delivered
 	enabled bool        // GICC_CTLR enable bit
+	ackIDs  []int       // reusable Acknowledge scratch (deterministic sort)
 }
 
 // Distributor is the shared GICD state plus the per-CPU interfaces.
@@ -250,10 +251,11 @@ func (d *Distributor) Acknowledge(cpu int) (irq int, srcCPU int) {
 		return SpuriousIRQ, 0
 	}
 	best, bestPri := SpuriousIRQ, uint16(0x100)
-	ids := make([]int, 0, len(p.pending))
+	ids := p.ackIDs[:0]
 	for id := range p.pending {
 		ids = append(ids, id)
 	}
+	p.ackIDs = ids
 	sort.Ints(ids) // deterministic tie-break: lowest ID wins
 	for _, id := range ids {
 		if !d.deliverable(cpu, id) {

@@ -189,5 +189,5 @@ func (l *Linux) oops(cpu int, reg string) {
 	}
 	l.cancelBg = nil
 	l.brd.StopTimer(0)
-	l.brd.Trace().Add(l.brd.Now(), sim.KindPanic, cpu, "root kernel panic: corrupted %s", reg)
+	l.brd.Trace().Addf(l.brd.Now(), sim.KindPanic, cpu, "root kernel panic: corrupted %s", sim.Str(reg))
 }

@@ -170,7 +170,7 @@ func (l *Linux) StartStateWatchdog(id uint32) {
 			return
 		}
 		if st, err := l.CellState(l.CellID); err == nil {
-			l.brd.Trace().Add(l.brd.Now(), sim.KindCellEvent, 0, "watchdog: cell %d state=%v", l.CellID, st)
+			l.brd.Trace().Addf(l.brd.Now(), sim.KindCellEvent, 0, "watchdog: cell %d state=%v", sim.Int(int64(l.CellID)), sim.Str(st.String()))
 		}
 	}))
 }

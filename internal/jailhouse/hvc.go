@@ -1,6 +1,8 @@
 package jailhouse
 
 import (
+	"fmt"
+
 	"github.com/dessertlab/certify/internal/armv7"
 	"github.com/dessertlab/certify/internal/memmap"
 	"github.com/dessertlab/certify/internal/sim"
@@ -34,7 +36,8 @@ func (h *Hypervisor) ArchHandleHVC(cpu int, ctx *armv7.TrapContext) {
 	code, arg1, arg2 := ctx.Regs[0], ctx.Regs[1], ctx.Regs[2]
 	result := h.hypercall(cpu, code, arg1, arg2)
 	h.trace(sim.KindHypercall, cpu, "%s(%#x, %#x) = %d (%s)",
-		HypercallName(code), arg1, arg2, int32(result), result)
+		sim.Str(HypercallName(code)), sim.Uint(uint64(arg1)), sim.Uint(uint64(arg2)),
+		sim.Int(int64(int32(result))), sim.Str(result.String()))
 	ctx.WriteReg(0, errnoWord(result))
 	h.notifyCorruptedResume(cpu, ctx, res)
 }
@@ -197,7 +200,8 @@ func (h *Hypervisor) cellCreate(configGPA uint32) Errno {
 	}
 	h.cells = append(h.cells, cell)
 	h.consolef("Created cell \"%s\"", cfg.Name)
-	h.trace(sim.KindCellEvent, -1, "cell %q created (id %d, cpus %v)", cfg.Name, cell.ID, cfg.CPUs())
+	h.trace(sim.KindCellEvent, -1, "cell %q created (id %d, cpus %v)",
+		sim.Str(cfg.Name), sim.Int(int64(cell.ID)), sim.Str(fmt.Sprint(cfg.CPUs())))
 	return Errno(cell.ID)
 }
 
@@ -215,7 +219,7 @@ func (h *Hypervisor) RequestShutdown(id uint32) Errno {
 	if cell.Guest != nil {
 		cell.Guest.OnShutdown()
 	}
-	h.trace(sim.KindCellEvent, -1, "cell %q shutdown requested", cell.Name())
+	h.trace(sim.KindCellEvent, -1, "cell %q shutdown requested", sim.Str(cell.Name()))
 	return EOK
 }
 
@@ -242,7 +246,7 @@ func (h *Hypervisor) cellSetLoadable(id uint32) Errno {
 			})
 		}
 	}
-	h.trace(sim.KindCellEvent, -1, "cell %q set loadable", cell.Name())
+	h.trace(sim.KindCellEvent, -1, "cell %q set loadable", sim.Str(cell.Name()))
 	return EOK
 }
 
@@ -275,7 +279,7 @@ func (h *Hypervisor) cellStart(id uint32) Errno {
 	cell.State = CellRunning
 	cell.CommPending = MsgNone
 	h.consolef("Started cell \"%s\"", cell.Name())
-	h.trace(sim.KindCellEvent, -1, "cell %q started", cell.Name())
+	h.trace(sim.KindCellEvent, -1, "cell %q started", sim.Str(cell.Name()))
 
 	for _, cpu := range cell.CPUList() {
 		p := h.PerCPU(cpu)
@@ -339,7 +343,7 @@ func (h *Hypervisor) cellDestroy(id uint32) Errno {
 		}
 	}
 	h.consolef("Closed cell \"%s\"", cell.Name())
-	h.trace(sim.KindCellEvent, -1, "cell %q destroyed", cell.Name())
+	h.trace(sim.KindCellEvent, -1, "cell %q destroyed", sim.Str(cell.Name()))
 	return EOK
 }
 

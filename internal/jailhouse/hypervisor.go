@@ -98,13 +98,23 @@ type Hypervisor struct {
 	// putcAccum buffers DEBUG_CONSOLE_PUTC bytes until newline.
 	putcAccum []byte
 
+	// irqCtx is the per-CPU scratch trap frame for the IRQ entry path;
+	// irqCtxBusy guards against re-entrant deliveries on the same CPU.
+	irqCtx     []armv7.TrapContext
+	irqCtxBusy []bool
+
 	// ivshmem holds the registered inter-cell shared-memory links.
 	ivshmem []*IvshmemLink
 }
 
 // New returns a hypervisor bound to a board, not yet enabled.
 func New(b *board.Board) *Hypervisor {
-	h := &Hypervisor{brd: b, rootOfflined: make(map[int]bool)}
+	h := &Hypervisor{
+		brd:          b,
+		rootOfflined: make(map[int]bool),
+		irqCtx:       make([]armv7.TrapContext, board.NumCPUs),
+		irqCtxBusy:   make([]bool, board.NumCPUs),
+	}
 	for i := 0; i < board.NumCPUs; i++ {
 		h.percpu = append(h.percpu, newPerCPU(i))
 	}
@@ -219,7 +229,7 @@ func (h *Hypervisor) Enable(sysCfg *SystemConfig) Errno {
 	h.consolef("Initializing Jailhouse hypervisor v0.12 on CPU %d", 0)
 	h.consolef("Page pool usage after late commitment: mem %d/%d", 512, 16384)
 	h.consolef("Activating hypervisor")
-	h.trace(sim.KindBoot, 0, "hypervisor enabled, root cell %q", root.Name())
+	h.trace(sim.KindBoot, 0, "hypervisor enabled, root cell %q", sim.Str(root.Name()))
 	return EOK
 }
 
@@ -242,12 +252,14 @@ func (h *Hypervisor) Disable() Errno {
 func (h *Hypervisor) consolef(format string, args ...any) {
 	line := fmt.Sprintf(format, args...)
 	h.ConsoleLines = append(h.ConsoleLines, line)
-	h.trace(sim.KindNote, -1, "[JH] %s", line)
+	h.trace(sim.KindNote, -1, "[JH] %s", sim.Str(line))
 }
 
-// trace appends to the board-wide event trace.
-func (h *Hypervisor) trace(kind sim.Kind, cpu int, format string, args ...any) {
-	h.brd.Trace().Add(h.brd.Now(), kind, cpu, format, args...)
+// trace appends to the board-wide event trace. Formatting is deferred:
+// args must be sim.Int/sim.Uint/sim.Str values that render byte-identically
+// to what the format verb would have produced on the original operand.
+func (h *Hypervisor) trace(kind sim.Kind, cpu int, format string, args ...sim.Arg) {
+	h.brd.Trace().Addf(h.brd.Now(), kind, cpu, format, args...)
 }
 
 // ConsoleContains reports whether any hypervisor console line contains s.
@@ -286,7 +298,7 @@ func (h *Hypervisor) cpuPark(cpu int, reason string) {
 	p.OnlineInCell = false
 	h.brd.CPUs[cpu].Parked = true
 	h.consolef("Parking CPU %d (cell \"%s\")", cpu, h.cellNameOf(cpu))
-	h.trace(sim.KindPark, cpu, "cpu_park: %s", reason)
+	h.trace(sim.KindPark, cpu, "cpu_park: %s", sim.Str(reason))
 	if c := h.cellOf(cpu); c != nil && c.Guest != nil {
 		c.Guest.OnCPUParked(cpu)
 	}
@@ -303,7 +315,7 @@ func (h *Hypervisor) panicStop(cpu int, reason string) {
 	h.panicMsg = reason
 	h.consolef("FATAL: %s", reason)
 	h.consolef("Stopping CPU %d (Cell: \"%s\")", cpu, h.cellNameOf(cpu))
-	h.trace(sim.KindPanic, cpu, "panic_stop: %s", reason)
+	h.trace(sim.KindPanic, cpu, "panic_stop: %s", sim.Str(reason))
 	for _, p := range h.percpu {
 		p.Parked = true
 		p.OnlineInCell = false
@@ -320,7 +332,7 @@ func (h *Hypervisor) applyDamage(cpu int, d Damage) {
 	case DamageCrossCPU:
 		other := (cpu + 1) % len(h.percpu)
 		h.PerCPU(other).corrupt()
-		h.trace(sim.KindInjection, cpu, "per-CPU derivation redirected into cpu%d block", other)
+		h.trace(sim.KindInjection, cpu, "per-CPU derivation redirected into cpu%d block", sim.Int(int64(other)))
 	case DamageHypAbort:
 		h.panicStop(cpu, fmt.Sprintf("unrecoverable abort in HYP mode on CPU %d", cpu))
 	}
@@ -347,7 +359,7 @@ func (h *Hypervisor) enterHandler(point InjectionPoint, cpu int, reason VMExit, 
 	if h.Hook != nil {
 		res = h.Hook(point, cpu, h.cellNameOf(cpu), ctx)
 		if len(res.Fields) > 0 {
-			h.trace(sim.KindInjection, cpu, "%s: injected %d flip(s)", point, len(res.Fields))
+			h.trace(sim.KindInjection, cpu, "%s: injected %d flip(s)", sim.Str(point.String()), sim.Int(int64(len(res.Fields))))
 		}
 		if res.Damage != DamageNone {
 			h.applyDamage(cpu, res.Damage)

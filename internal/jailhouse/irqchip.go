@@ -24,19 +24,42 @@ func (h *Hypervisor) IRQChipHandleIRQ(cpu int) {
 
 		// The injectable frame for this entry point: r0 holds the IRQ
 		// number (the handler's only parameter), r1 the source CPU of
-		// an SGI.
-		ctx := &armv7.TrapContext{CPUID: uint32(cpu)}
+		// an SGI. The frame comes from a per-CPU scratch pool; it is
+		// released before dispatch, so re-entrant deliveries triggered
+		// by guest code see a free scratch (or fall back to a fresh
+		// allocation while this one is busy).
+		ctx := h.acquireIRQCtx(cpu)
 		ctx.Regs[0] = uint32(irq)
 		ctx.Regs[1] = uint32(src)
 		res, proceed := h.enterHandler(PointIRQChip, cpu, ExitIRQ, ctx)
+		effectiveIRQ := int(ctx.Regs[0])
+		h.releaseIRQCtx(cpu, ctx)
 		if !proceed {
 			return
 		}
-		effectiveIRQ := int(ctx.Regs[0])
 
 		h.dispatchIRQ(cpu, effectiveIRQ, irq)
 		h.brd.GIC.EOI(cpu, irq)
 		_ = res
+	}
+}
+
+// acquireIRQCtx returns a zeroed trap context for the IRQ entry path,
+// reusing the per-CPU scratch frame when it is not already in use.
+func (h *Hypervisor) acquireIRQCtx(cpu int) *armv7.TrapContext {
+	if cpu >= 0 && cpu < len(h.irqCtx) && !h.irqCtxBusy[cpu] {
+		h.irqCtxBusy[cpu] = true
+		ctx := &h.irqCtx[cpu]
+		*ctx = armv7.TrapContext{CPUID: uint32(cpu)}
+		return ctx
+	}
+	return &armv7.TrapContext{CPUID: uint32(cpu)}
+}
+
+// releaseIRQCtx returns a scratch frame acquired by acquireIRQCtx.
+func (h *Hypervisor) releaseIRQCtx(cpu int, ctx *armv7.TrapContext) {
+	if cpu >= 0 && cpu < len(h.irqCtx) && ctx == &h.irqCtx[cpu] {
+		h.irqCtxBusy[cpu] = false
 	}
 }
 
@@ -61,7 +84,7 @@ func (h *Hypervisor) dispatchIRQ(cpu, effectiveIRQ, rawIRQ int) {
 		}
 		p.OnlineInCell = true
 		h.brd.CPUs[cpu].Online = true
-		h.trace(sim.KindCellEvent, cpu, "cpu online in cell %q", cell.Name())
+		h.trace(sim.KindCellEvent, cpu, "cpu online in cell %q", sim.Str(cell.Name()))
 		if cell.Guest != nil {
 			guest := cell.Guest
 			h.brd.Engine.After(100*sim.Microsecond, func() {
@@ -101,6 +124,6 @@ func (h *Hypervisor) injectToCell(cpu int, cell *Cell, irq int) {
 	if p.Parked || !p.OnlineInCell || cell.State != CellRunning {
 		return // parked or offline CPUs execute no guest code
 	}
-	h.trace(sim.KindIRQ, cpu, "vIRQ %d → cell %q", irq, cell.Name())
+	h.trace(sim.KindIRQ, cpu, "vIRQ %d → cell %q", sim.Int(int64(irq)), sim.Str(cell.Name()))
 	cell.Guest.OnIRQ(cpu, irq)
 }

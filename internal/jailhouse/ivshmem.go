@@ -92,7 +92,7 @@ func (h *Hypervisor) Ring(link *IvshmemLink, fromCell uint32) error {
 		if err := h.brd.GIC.RaiseSPI(doorbell); err != nil {
 			return fmt.Errorf("jailhouse: doorbell %d: %w", doorbell, err)
 		}
-		h.trace(sim.KindIRQ, cpu, "ivshmem doorbell %d → cell %q", doorbell, target.Name())
+		h.trace(sim.KindIRQ, cpu, "ivshmem doorbell %d → cell %q", sim.Int(int64(doorbell)), sim.Str(target.Name()))
 		return nil // one delivery per ring
 	}
 	return fmt.Errorf("jailhouse: ivshmem peer cell %d has no CPUs: %v", targetCell, ENOENT)

@@ -24,7 +24,7 @@ func (h *Hypervisor) ArchHandleTrap(cpu int, ctx *armv7.TrapContext) {
 	}
 
 	ec := armv7.HSRClass(ctx.HSR)
-	h.trace(sim.KindTrap, cpu, "trap %s from cell %q", ec, h.cellNameOf(cpu))
+	h.trace(sim.KindTrap, cpu, "trap %s from cell %q", sim.Str(ec.String()), sim.Str(h.cellNameOf(cpu)))
 
 	switch ec {
 	case armv7.ECHVC:
@@ -50,7 +50,7 @@ func (h *Hypervisor) ArchHandleTrap(cpu int, ctx *armv7.TrapContext) {
 			v, _ := armv7.CP15Value(h.brd.CPUs[cpu], reg)
 			ctx.WriteReg(rt, v)
 		}
-		h.trace(sim.KindTrap, cpu, "cp15 %s %s", cp15Op(read), reg)
+		h.trace(sim.KindTrap, cpu, "cp15 %s %s", sim.Str(cp15Op(read)), sim.Str(reg.String()))
 		ctx.ELR += 4
 	case armv7.ECCP15_64, armv7.ECCP14_32:
 		// 64-bit and CP14 transfers: write-ignore / read-as-zero.
@@ -197,7 +197,7 @@ func (h *Hypervisor) emulateGICD(cpu int, cell *Cell, off uint64, da armv7.DataA
 	if err := h.brd.GIC.WriteReg(off, value, cpu); err != nil {
 		// Write to an unimplemented register: ignored, as hardware
 		// RAZ/WI behaviour.
-		h.trace(sim.KindNote, cpu, "gicd: ignored write at %#x", off)
+		h.trace(sim.KindNote, cpu, "gicd: ignored write at %#x", sim.Uint(off))
 	}
 }
 
@@ -242,7 +242,7 @@ func (h *Hypervisor) handlePSCI(cpu int, ctx *armv7.TrapContext) {
 			if cell != nil && cell.ID == 0 {
 				h.rootOfflined[cpu] = true
 			}
-			h.trace(sim.KindCellEvent, cpu, "psci: CPU_OFF in cell %q", h.cellNameOf(cpu))
+			h.trace(sim.KindCellEvent, cpu, "psci: CPU_OFF in cell %q", sim.Str(h.cellNameOf(cpu)))
 			ret = armv7.PSCIRetSuccess
 		case armv7.PSCICPUOn:
 			target := int(ctx.Regs[1] & 0xFF) // MPIDR Aff0
@@ -258,7 +258,7 @@ func (h *Hypervisor) handlePSCI(cpu int, ctx *armv7.TrapContext) {
 	}
 	ctx.WriteReg(0, uint32(ret))
 	ctx.ELR += 4
-	h.trace(sim.KindTrap, cpu, "psci %s → %d", armv7.PSCIName(fn), ret)
+	h.trace(sim.KindTrap, cpu, "psci %s → %d", sim.Str(armv7.PSCIName(fn)), sim.Int(int64(ret)))
 }
 
 // psciCPUOn validates and performs CPU_ON within the calling cell.
@@ -287,7 +287,7 @@ func (h *Hypervisor) psciCPUOn(cell *Cell, target int) int32 {
 			}
 		})
 	}
-	h.trace(sim.KindCellEvent, target, "psci: CPU_ON into cell %q", cell.Name())
+	h.trace(sim.KindCellEvent, target, "psci: CPU_ON into cell %q", sim.Str(cell.Name()))
 	return armv7.PSCIRetSuccess
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -11,68 +10,58 @@ import (
 // horizon was reached. Reaching the horizon normally is not an error.
 var ErrHalted = errors.New("sim: engine halted")
 
-// Event is a scheduled callback. The callback runs with the engine's
-// current virtual time equal to the event deadline.
-type Event struct {
+// slot is one entry of the engine's pooled event slab. Slots are recycled
+// through a free list: popping an event returns its slot immediately, so a
+// campaign's steady-state event population allocates nothing per event.
+type slot struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among same-instant events
 	fn   func()
+	gen  uint32 // bumped on every free; stale handles become no-ops
 	// canceled events stay in the heap but are skipped when popped;
 	// this keeps cancellation O(1).
 	canceled bool
-	idx      int
+}
+
+// Event is a cheap, copyable handle to a scheduled callback. The zero
+// value is valid and cancels nothing. Handles are generation-checked:
+// canceling an event that already fired (even if its slot has been reused
+// by a newer event) is a safe no-op.
+type Event struct {
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents a pending event from firing. Canceling an already-fired
 // or already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
-	}
-}
-
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
+func (ev Event) Cancel() {
+	e := ev.eng
+	if e == nil || ev.idx < 0 || int(ev.idx) >= len(e.slots) {
 		return
 	}
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	if s := &e.slots[ev.idx]; s.gen == ev.gen {
+		s.canceled = true
+	}
 }
 
 // Engine is the deterministic event loop that drives one simulated machine.
 // It is not safe for concurrent use; one goroutine owns one engine.
+//
+// The event queue is an index-based min-heap over a pooled slab: heap
+// entries are slab indices ordered by (when, seq), and freed slots are
+// recycled via a free list. Scheduling in steady state therefore performs
+// no per-event allocation and no interface boxing.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	rng     *RNG
-	trace   *Trace
-	halted  bool
-	haltMsg string
+	now      Time
+	seq      uint64
+	slots    []slot
+	freeList []int32 // stack of free slab indices
+	heap     []int32 // slab indices ordered by (when, seq)
+	rng      *RNG
+	trace    *Trace
+	halted   bool
+	haltMsg  string
 }
 
 // NewEngine returns an engine at time zero with the given seed.
@@ -81,6 +70,24 @@ func NewEngine(seed uint64) *Engine {
 		rng:   NewRNG(seed),
 		trace: NewTrace(),
 	}
+}
+
+// Reset rewinds the engine to time zero with a fresh seed while keeping
+// the event slab, heap and trace buffers allocated — the machine-reuse
+// path campaign workers use between consecutive runs. Event handles from
+// before the reset are invalidated (their Cancel becomes a no-op).
+func (e *Engine) Reset(seed uint64) {
+	e.now, e.seq = 0, 0
+	e.halted, e.haltMsg = false, ""
+	e.heap = e.heap[:0]
+	e.freeList = e.freeList[:0]
+	for i := range e.slots {
+		e.slots[i].fn = nil
+		e.slots[i].gen++
+		e.freeList = append(e.freeList, int32(i))
+	}
+	e.rng.Reseed(seed)
+	e.trace.Reset()
 }
 
 // Now returns current virtual time.
@@ -92,21 +99,72 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Trace returns the engine's event trace.
 func (e *Engine) Trace() *Trace { return e.trace }
 
+// less orders heap entries by (when, seq).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.when != sb.when {
+		return sa.when < sb.when
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(h[right], h[left]) {
+			least = right
+		}
+		if !e.less(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
 // Schedule enqueues fn to run at absolute virtual time when. Times in the
 // past are clamped to "now" (the event still runs, after already-queued
 // events for the current instant). The returned handle can cancel it.
-func (e *Engine) Schedule(when Time, fn func()) *Event {
+func (e *Engine) Schedule(when Time, fn func()) Event {
 	if when < e.now {
 		when = e.now
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.freeList); n > 0 {
+		idx = e.freeList[n-1]
+		e.freeList = e.freeList[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.when, s.seq, s.fn, s.canceled = when, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Event{eng: e, idx: idx, gen: s.gen}
 }
 
 // After enqueues fn to run d after the current instant.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	return e.Schedule(e.now+d, fn)
 }
 
@@ -117,7 +175,7 @@ func (e *Engine) Every(d Time, fn func()) (cancel func()) {
 		d = Nanosecond
 	}
 	stopped := false
-	var current *Event
+	var current Event
 	var tick func()
 	tick = func() {
 		if stopped || e.halted {
@@ -148,27 +206,42 @@ func (e *Engine) Halt(reason string) {
 // Halted reports whether Halt was called, and the recorded reason.
 func (e *Engine) Halted() (bool, string) { return e.halted, e.haltMsg }
 
+// pop removes the heap minimum and frees its slot, returning the event
+// payload. The slot is recycled before the callback runs, so a callback
+// that schedules may reuse the very slot of the event being delivered.
+func (e *Engine) pop() (when Time, fn func(), canceled bool) {
+	idx := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	s := &e.slots[idx]
+	when, fn, canceled = s.when, s.fn, s.canceled
+	s.fn = nil
+	s.gen++
+	e.freeList = append(e.freeList, idx)
+	return when, fn, canceled
+}
+
 // Run executes events in order until the queue is empty, the horizon is
 // passed, or the engine is halted. The engine's clock ends at exactly
 // horizon when the horizon is reached normally.
 func (e *Engine) Run(horizon Time) error {
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		if e.halted {
 			return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
 		}
-		next := e.queue[0]
-		if next.when > horizon {
+		if e.slots[e.heap[0]].when > horizon {
 			break
 		}
-		popped, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
+		when, fn, canceled := e.pop()
+		if canceled {
 			continue
 		}
-		if popped.canceled {
-			continue
-		}
-		e.now = popped.when
-		popped.fn()
+		e.now = when
+		fn()
 	}
 	if e.halted {
 		return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
@@ -183,13 +256,13 @@ func (e *Engine) Run(horizon Time) error {
 // reports whether an event ran. Used by tests that need fine-grained
 // control over interleaving.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		popped, ok := heap.Pop(&e.queue).(*Event)
-		if !ok || popped.canceled {
+	for len(e.heap) > 0 {
+		when, fn, canceled := e.pop()
+		if canceled {
 			continue
 		}
-		e.now = popped.when
-		popped.fn()
+		e.now = when
+		fn()
 		return true
 	}
 	return false
@@ -197,4 +270,4 @@ func (e *Engine) Step() bool {
 
 // Pending returns the number of events currently queued, including
 // canceled-but-unpopped ones. Diagnostic only.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -69,10 +69,10 @@ func TestEngineCancel(t *testing.T) {
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	// Double-cancel and nil-cancel must be safe.
+	// Double-cancel and zero-value cancel must be safe.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Event
+	zero.Cancel()
 }
 
 func TestEngineHalt(t *testing.T) {
@@ -248,7 +248,7 @@ func TestSplitMix64DerivedSeedsDiffer(t *testing.T) {
 
 func TestTraceFilterCountContains(t *testing.T) {
 	tr := NewTrace()
-	tr.Add(10, KindUART, 0, "hello %s", "world")
+	tr.Addf(10, KindUART, 0, "hello %s", Str("world"))
 	tr.Add(20, KindPanic, 1, "Kernel panic - not syncing")
 	tr.Add(30, KindUART, 1, "bye")
 	if got := tr.Count(KindUART); got != 2 {
@@ -272,7 +272,7 @@ func TestTraceHashStableAndOrderSensitive(t *testing.T) {
 	build := func(order []int) *Trace {
 		tr := NewTrace()
 		for _, i := range order {
-			tr.Add(Time(i), KindNote, i, "n%d", i)
+			tr.Addf(Time(i), KindNote, i, "n%d", Int(int64(i)))
 		}
 		return tr
 	}
@@ -330,7 +330,7 @@ func TestPropertyDeterministicReplay(t *testing.T) {
 		n := 0
 		step = func() {
 			n++
-			e.Trace().Add(e.Now(), KindNote, n%4, "step %d r=%d", n, e.RNG().Intn(100))
+			e.Trace().Addf(e.Now(), KindNote, n%4, "step %d r=%d", Int(int64(n)), Int(int64(e.RNG().Intn(100))))
 			if n < 500 {
 				e.After(Time(1+e.RNG().Intn(50)), step)
 			}

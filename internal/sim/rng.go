@@ -24,11 +24,18 @@ func SplitMix64(state *uint64) uint64 {
 // xoshiro authors' recommendation. Any seed, including zero, is valid.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed rewinds the generator to the stream derived from seed, exactly
+// as NewRNG(seed) would. Engine reuse between campaign runs relies on
+// this to recycle the generator without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = SplitMix64(&sm)
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -51,6 +52,45 @@ func (k Kind) String() string {
 	return fmt.Sprintf("KIND(%d)", uint8(k))
 }
 
+// argKind discriminates the typed argument union.
+type argKind uint8
+
+const (
+	argInt argKind = iota
+	argUint
+	argStr
+)
+
+// Arg is one deferred format argument. Args are small typed values stored
+// unboxed in the trace's argument arena, so recording them costs no heap
+// allocation; they are only converted for fmt when a record is rendered.
+type Arg struct {
+	s string
+	n uint64
+	k argKind
+}
+
+// Int wraps a signed integer argument (for %d, %x, %v of ints).
+func Int(v int64) Arg { return Arg{n: uint64(v), k: argInt} }
+
+// Uint wraps an unsigned integer argument (for %d, %#x of uints).
+func Uint(v uint64) Arg { return Arg{n: v, k: argUint} }
+
+// Str wraps a string argument (for %s, %q, or pre-rendered %v values).
+func Str(s string) Arg { return Arg{s: s, k: argStr} }
+
+// value returns the boxed fmt operand. Only called on the render path.
+func (a Arg) value() any {
+	switch a.k {
+	case argInt:
+		return int64(a.n)
+	case argUint:
+		return a.n
+	default:
+		return a.s
+	}
+}
+
 // Record is one timestamped trace entry.
 type Record struct {
 	At   Time
@@ -68,41 +108,139 @@ func (r Record) String() string {
 	return fmt.Sprintf("%s %-6s %s %s", r.At, r.Kind, cpu, r.Msg)
 }
 
+// record is the internal, compact form: formatting is deferred — the
+// format string and typed args are kept and only rendered (once, cached)
+// when somebody actually reads the message.
+type record struct {
+	at       Time
+	msg      string // rendered message, or the static message itself
+	format   string // pending format; "" once rendered
+	argPos   uint32 // index into Trace.args
+	argN     uint16
+	kind     Kind
+	cpu      int16
+	rendered bool
+}
+
 // Trace accumulates records for one run. It is deliberately append-only;
-// classifiers and analytics read it after the run completes.
+// classifiers and analytics read it after the run completes. Records store
+// their format string and small typed args instead of a rendered message,
+// so the per-event hot path performs no fmt work and no allocation beyond
+// the amortised growth of the reusable record/argument buffers.
 type Trace struct {
-	records []Record
+	recs []record
+	args []Arg
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
 
-// Add appends a record.
-func (t *Trace) Add(at Time, kind Kind, cpu int, format string, args ...any) {
-	msg := format
-	if len(args) > 0 {
-		msg = fmt.Sprintf(format, args...)
+// Reset empties the trace while keeping its buffers for reuse.
+func (t *Trace) Reset() {
+	for i := range t.recs {
+		t.recs[i] = record{} // release retained strings
 	}
-	t.records = append(t.records, Record{At: at, Kind: kind, CPU: cpu, Msg: msg})
+	for i := range t.args {
+		t.args[i] = Arg{}
+	}
+	t.recs = t.recs[:0]
+	t.args = t.args[:0]
+}
+
+// Add appends a record whose message needs no formatting.
+func (t *Trace) Add(at Time, kind Kind, cpu int, msg string) {
+	t.recs = append(t.recs, record{
+		at: at, msg: msg, kind: kind, cpu: int16(cpu), rendered: true,
+	})
+}
+
+// Addf appends a record with deferred formatting: format and args are
+// stored as-is and rendered only if Dump, Hash, Contains or a scan reads
+// the message. args must render byte-identically to the values the call
+// site would have passed to fmt.Sprintf (use Str(x.String()) for %v/%s of
+// Stringers, Str(fmt.Sprint(x)) for exotic values).
+func (t *Trace) Addf(at Time, kind Kind, cpu int, format string, args ...Arg) {
+	if len(args) == 0 {
+		t.Add(at, kind, cpu, format)
+		return
+	}
+	pos := uint32(len(t.args))
+	t.args = append(t.args, args...)
+	t.recs = append(t.recs, record{
+		at: at, format: format, argPos: pos, argN: uint16(len(args)),
+		kind: kind, cpu: int16(cpu),
+	})
+}
+
+// render materialises (and caches) the message of record i.
+func (t *Trace) render(i int) string {
+	r := &t.recs[i]
+	if r.rendered {
+		return r.msg
+	}
+	if r.argN == 0 {
+		r.msg = r.format
+	} else {
+		av := make([]any, r.argN)
+		for j := range av {
+			av[j] = t.args[int(r.argPos)+j].value()
+		}
+		r.msg = fmt.Sprintf(r.format, av...)
+	}
+	r.rendered = true
+	r.format = ""
+	return r.msg
 }
 
 // Len returns the number of records.
-func (t *Trace) Len() int { return len(t.records) }
+func (t *Trace) Len() int { return len(t.recs) }
+
+// at builds the public view of record i, rendering its message.
+func (t *Trace) at(i int) Record {
+	r := &t.recs[i]
+	return Record{At: r.at, Kind: r.kind, CPU: int(r.cpu), Msg: t.render(i)}
+}
+
+// Scan visits every record in order without copying the trace. Return
+// false from fn to stop early. Messages are rendered lazily (then cached),
+// so scans that stop early pay only for what they read.
+func (t *Trace) Scan(fn func(Record) bool) {
+	for i := range t.recs {
+		if !fn(t.at(i)) {
+			return
+		}
+	}
+}
+
+// ScanMeta visits every record's metadata in order without rendering any
+// message — the zero-cost path for readers that only need kinds and
+// timestamps (e.g. detection-latency measurement). Return false to stop.
+func (t *Trace) ScanMeta(fn func(at Time, kind Kind, cpu int) bool) {
+	for i := range t.recs {
+		r := &t.recs[i]
+		if !fn(r.at, r.kind, int(r.cpu)) {
+			return
+		}
+	}
+}
 
 // Records returns a copy of all records (copy keeps callers from mutating
-// the trace; traces are small relative to run cost).
+// the trace). Prefer Scan/ScanMeta on hot paths; Records renders every
+// message and clones the slice.
 func (t *Trace) Records() []Record {
-	out := make([]Record, len(t.records))
-	copy(out, t.records)
+	out := make([]Record, len(t.recs))
+	for i := range t.recs {
+		out[i] = t.at(i)
+	}
 	return out
 }
 
 // Filter returns records of the given kind, in order.
 func (t *Trace) Filter(kind Kind) []Record {
 	var out []Record
-	for _, r := range t.records {
-		if r.Kind == kind {
-			out = append(out, r)
+	for i := range t.recs {
+		if t.recs[i].kind == kind {
+			out = append(out, t.at(i))
 		}
 	}
 	return out
@@ -111,8 +249,8 @@ func (t *Trace) Filter(kind Kind) []Record {
 // Count returns how many records have the given kind.
 func (t *Trace) Count(kind Kind) int {
 	n := 0
-	for _, r := range t.records {
-		if r.Kind == kind {
+	for i := range t.recs {
+		if t.recs[i].kind == kind {
 			n++
 		}
 	}
@@ -122,16 +260,16 @@ func (t *Trace) Count(kind Kind) int {
 // CountsByKind returns a map kind → record count.
 func (t *Trace) CountsByKind() map[Kind]int {
 	m := make(map[Kind]int)
-	for _, r := range t.records {
-		m[r.Kind]++
+	for i := range t.recs {
+		m[t.recs[i].kind]++
 	}
 	return m
 }
 
 // Contains reports whether any record's message contains substr.
 func (t *Trace) Contains(substr string) bool {
-	for _, r := range t.records {
-		if strings.Contains(r.Msg, substr) {
+	for i := range t.recs {
+		if strings.Contains(t.render(i), substr) {
 			return true
 		}
 	}
@@ -140,11 +278,22 @@ func (t *Trace) Contains(substr string) bool {
 
 // Hash returns a stable FNV-1a digest of the full trace. Two runs with the
 // same seed and configuration must produce identical hashes; the
-// determinism property tests rely on this.
+// determinism property tests rely on this. The digest is computed over the
+// rendered records and is unchanged from the eager-formatting engine.
 func (t *Trace) Hash() uint64 {
 	h := fnv.New64a()
-	for _, r := range t.records {
-		fmt.Fprintf(h, "%d|%d|%d|%s\n", r.At, r.Kind, r.CPU, r.Msg)
+	var buf []byte
+	for i := range t.recs {
+		r := &t.recs[i]
+		buf = strconv.AppendInt(buf[:0], int64(r.at), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, uint64(r.kind), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(r.cpu), 10)
+		buf = append(buf, '|')
+		buf = append(buf, t.render(i)...)
+		buf = append(buf, '\n')
+		_, _ = h.Write(buf)
 	}
 	return h.Sum64()
 }
@@ -157,9 +306,9 @@ func (t *Trace) Dump(kinds ...Kind) string {
 		want[k] = true
 	}
 	var b strings.Builder
-	for _, r := range t.records {
-		if len(kinds) == 0 || want[r.Kind] {
-			b.WriteString(r.String())
+	for i := range t.recs {
+		if len(kinds) == 0 || want[t.recs[i].kind] {
+			b.WriteString(t.at(i).String())
 			b.WriteByte('\n')
 		}
 	}

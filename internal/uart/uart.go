@@ -41,13 +41,14 @@ type Line struct {
 // UART is a functional serial port. Transmission is instantaneous (the
 // experiments measure liveness, not baud rates); every byte is captured.
 type UART struct {
-	name  string
-	now   func() sim.Time
-	ier   uint32
-	lcr   uint32
-	txLog []byte
-	lines []Line
-	cur   strings.Builder
+	name    string
+	now     func() sim.Time
+	ier     uint32
+	lcr     uint32
+	txLog   []byte
+	noBytes bool // when set, the raw byte log is not kept
+	lines   []Line
+	cur     strings.Builder
 
 	// OnLine, when set, is called for each completed output line.
 	OnLine func(Line)
@@ -62,9 +63,37 @@ func New(name string, now func() sim.Time) *UART {
 // Name returns the device name.
 func (u *UART) Name() string { return u.name }
 
+// SetCaptureBytes toggles the raw transmitted-byte log. Line capture (the
+// classifier's observation channel) is unaffected. Campaigns that only
+// need outcome distributions disable byte capture to skip the copy.
+func (u *UART) SetCaptureBytes(on bool) {
+	u.noBytes = !on
+	if !on {
+		u.txLog = u.txLog[:0]
+	}
+}
+
+// Reset empties the capture state while keeping the line and byte buffers
+// allocated, and rebinds the clock — the machine-reuse path between
+// consecutive campaign runs on one worker.
+func (u *UART) Reset(name string, now func() sim.Time) {
+	u.name = name
+	u.now = now
+	u.ier, u.lcr = 0, 0
+	u.txLog = u.txLog[:0]
+	for i := range u.lines {
+		u.lines[i] = Line{} // release retained strings
+	}
+	u.lines = u.lines[:0]
+	u.cur.Reset()
+	u.OnLine = nil
+}
+
 // PutByte transmits one byte.
 func (u *UART) PutByte(b byte) {
-	u.txLog = append(u.txLog, b)
+	if !u.noBytes {
+		u.txLog = append(u.txLog, b)
+	}
 	if b == '\n' {
 		line := Line{At: u.now(), Text: u.cur.String()}
 		u.lines = append(u.lines, line)
@@ -123,11 +152,32 @@ func (u *UART) Bytes() []byte {
 	return out
 }
 
-// Lines returns all completed output lines.
+// Lines returns a copy of all completed output lines. Debug/test
+// convenience — hot paths use ScanLines to avoid the per-call copy.
 func (u *UART) Lines() []Line {
 	out := make([]Line, len(u.lines))
 	copy(out, u.lines)
 	return out
+}
+
+// ScanLines visits every completed line in order without copying the
+// backing slice. Return false from fn to stop early.
+func (u *UART) ScanLines(fn func(Line) bool) {
+	for _, l := range u.lines {
+		if !fn(l) {
+			return
+		}
+	}
+}
+
+// ScanLinesAfter visits the completed lines with timestamps strictly
+// after t, in order, without allocating. Return false from fn to stop.
+func (u *UART) ScanLinesAfter(t sim.Time, fn func(Line) bool) {
+	for _, l := range u.lines {
+		if l.At > t && !fn(l) {
+			return
+		}
+	}
 }
 
 // LineCount returns the number of completed lines.
@@ -143,7 +193,8 @@ func (u *UART) LastActivity() (sim.Time, bool) {
 	return u.lines[len(u.lines)-1].At, true
 }
 
-// LinesAfter returns the completed lines with timestamps strictly after t.
+// LinesAfter returns the completed lines with timestamps strictly after
+// t. Debug/test convenience — hot paths use ScanLinesAfter.
 func (u *UART) LinesAfter(t sim.Time) []Line {
 	var out []Line
 	for _, l := range u.lines {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and archive the series as JSON.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 1 iteration each
+#   scripts/bench.sh Figure3         # only benchmarks matching the regex
+#   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
+#   OUT=mybench.json scripts/bench.sh
+#
+# Emits BENCH_<YYYYMMDD>.json: one object per benchmark with ns/op,
+# allocs/op, B/op and every ReportMetric series (correct_pct,
+# runs_per_sec, ...). The static checks (go vet, gofmt) run first so a
+# dirty tree never produces an archived measurement.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
+
+echo "== static checks =="
+go vet ./...
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+    printf "%s%s", (count++ ? ",\n" : ""), "  {\"name\": \"" name "\""
+    printf ", \"iterations\": %s", $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)   # ns/op -> ns_per_op
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { if (count) print "" }
+' "$RAW" | { echo "["; cat; echo "]"; } >"$OUT"
+
+echo "wrote $OUT"
