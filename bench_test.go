@@ -12,12 +12,15 @@ package certify_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/armv7"
 	"github.com/dessertlab/certify/internal/board"
 	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/dist"
 	"github.com/dessertlab/certify/internal/gic"
 	"github.com/dessertlab/certify/internal/jailhouse"
 	"github.com/dessertlab/certify/internal/sim"
@@ -204,6 +207,60 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
 			})
 		}
+	}
+}
+
+// BenchmarkShardedCampaign measures the distributed campaign path: the
+// run-index space split into K shards, each executed through
+// dist.ExecuteShard with streaming JSONL evidence, then folded back
+// with dist.Merge. runs_per_sec is comparable with
+// BenchmarkCampaignThroughput's distribution rows; the delta is the
+// cost of per-run artefact capture (trace hashing + JSONL encoding)
+// plus the merge. Shard artefacts are recreated every iteration —
+// resume skipping would otherwise turn iterations 2..N into no-ops.
+func BenchmarkShardedCampaign(b *testing.B) {
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-sharded-throughput"
+	const runs = 200
+	for _, k := range []int{1, 4} {
+		k := k
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			dir := b.TempDir()
+			spec := &dist.Spec{
+				Plan: &plan, Runs: runs, MasterSeed: 2022,
+				Shards: k, Mode: core.ModeDistribution,
+			}
+			paths := make([]string, k)
+			for i := range paths {
+				paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+			}
+			var merged *core.CampaignResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range paths {
+					if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+						b.Fatal(err)
+					}
+				}
+				for s := 0; s < k; s++ {
+					if _, skipped, err := dist.ExecuteShard(context.Background(), spec, s, 0, paths[s]); err != nil {
+						b.Fatal(err)
+					} else if skipped {
+						b.Fatal("shard skipped — stale artefact survived")
+					}
+				}
+				res, _, err := dist.Merge(paths)
+				if err != nil {
+					b.Fatal(err)
+				}
+				merged = res
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(runs)*float64(b.N)/secs, "runs_per_sec")
+			}
+			b.ReportMetric(100*merged.Fraction(core.OutcomeCorrect), "correct_pct")
+		})
 	}
 }
 

@@ -7,9 +7,19 @@
 //	certify golden   [-seed N] [-duration 60s]
 //	certify inject   [-plan E3-fig3 | -planfile f] [-seed N] [-verbose]
 //	certify campaign [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
-//	                 [-csv] [-ci] [-out dir]
+//	                 [-csv] [-ci] [-out dir|runs.jsonl]
+//	                 [-shards K -shard-index I -out shard-I.jsonl]
+//	certify merge    [-csv] [-ci] shard-*.jsonl
 //	certify report   [-runs 30] [-seed N]
 //	certify plans
+//
+// A campaign fans out across processes with -shards/-shard-index: each
+// process executes one contiguous window of the run-index space,
+// derives its seeds from the shared master-seed chain, and streams one
+// JSONL evidence record per run to its -out file. "certify merge"
+// verifies the shard manifests and folds the files back into the exact
+// single-process campaign aggregate. Completed shard files are skipped
+// on rerun, so an interrupted fan-out resumes where it stopped.
 package main
 
 import (
@@ -17,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/dist"
 	"github.com/dessertlab/certify/internal/sim"
 )
 
@@ -55,6 +67,8 @@ func run(args []string) error {
 		return cmdInject(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
+	case "merge":
+		return cmdMerge(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "plans":
@@ -73,7 +87,8 @@ func usage() {
 subcommands:
   golden     profile a fault-free run (injection-point activation counts)
   inject     execute one fault-injection run and print its verdict
-  campaign   run a full campaign and print the outcome distribution
+  campaign   run a full campaign (or one shard of it) and print the outcome distribution
+  merge      verify and fold shard JSONL artefacts into one campaign result
   report     run the standard campaigns and emit the SEooC dossier
   plans      list the built-in test plans`)
 }
@@ -166,16 +181,69 @@ func totalCalls(res *core.RunResult) uint64 {
 	return n
 }
 
+// campaignFlags is the parsed + validated campaign flag set.
+type campaignFlags struct {
+	plan       *core.TestPlan
+	runs       int
+	seed       uint64
+	csv, ci    bool
+	mode       core.CampaignMode
+	outJSONL   string // streaming JSONL artefact path ("" = none)
+	outDir     string // legacy per-run JSON directory ("" = none)
+	shards     int
+	shardIndex int
+}
+
+// validateCampaignFlags enforces the -out/-shards/-shard-index
+// contract. Every rejection names the offending combination and the
+// fix; the CLI surfaces them on stderr with a non-zero exit code.
+func validateCampaignFlags(f *campaignFlags, out string, shardIndexSet bool) error {
+	if f.runs <= 0 {
+		return fmt.Errorf("-runs must be positive, got %d", f.runs)
+	}
+	if strings.HasSuffix(out, ".jsonl") {
+		f.outJSONL = out
+	} else {
+		f.outDir = out
+	}
+	if f.outDir != "" && f.mode != core.ModeFull {
+		return fmt.Errorf("-out %s is a per-run JSON directory and needs -mode full; in distribution mode stream evidence with -out FILE.jsonl instead", f.outDir)
+	}
+	if f.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", f.shards)
+	}
+	if f.shards > f.runs {
+		return fmt.Errorf("-shards %d exceeds -runs %d: at most one shard per run", f.shards, f.runs)
+	}
+	if f.shards > 1 && !shardIndexSet {
+		return fmt.Errorf("-shards %d splits the campaign across %d processes; tell this one which window to run with -shard-index 0..%d", f.shards, f.shards, f.shards-1)
+	}
+	if shardIndexSet {
+		if f.shards == 1 {
+			return fmt.Errorf("-shard-index only makes sense with -shards K (K > 1); drop it or add -shards")
+		}
+		if f.shardIndex < 0 || f.shardIndex >= f.shards {
+			return fmt.Errorf("-shard-index %d out of range: -shards %d allows 0..%d", f.shardIndex, f.shards, f.shards-1)
+		}
+	}
+	if f.shards > 1 && f.outJSONL == "" {
+		return fmt.Errorf("sharded campaigns stream per-run evidence for the merge step; give each shard its own artefact with -out shard-%d.jsonl", f.shardIndex)
+	}
+	return nil
+}
+
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	planName := fs.String("plan", "E3-fig3", "test plan name")
 	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
-	runs := fs.Int("runs", 100, "number of runs")
+	runs := fs.Int("runs", 100, "number of runs (total across all shards)")
 	seed := fs.Uint64("seed", 2022, "master seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
-	outDir := fs.String("out", "", "directory to write per-run JSON artefacts")
+	out := fs.String("out", "", "artefact sink: FILE.jsonl streams one record per run (any mode); DIR writes per-run JSON files (-mode full only)")
 	mode := fs.String("mode", "full", "evidence retention: full (transcripts + per-run artefacts) or distribution (streaming aggregation, fastest)")
+	shards := fs.Int("shards", 1, "split the campaign into K contiguous shards for multi-process fan-out")
+	shardIndex := fs.Int("shard-index", 0, "which shard this process runs (0..K-1); requires -shards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,42 +251,122 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
-	cmode := core.ModeFull
+	cf := &campaignFlags{
+		plan: plan, runs: *runs, seed: *seed, csv: *csv, ci: *ci,
+		shards: *shards, shardIndex: *shardIndex,
+	}
 	switch *mode {
 	case "full":
+		cf.mode = core.ModeFull
 	case "distribution", "dist":
-		cmode = core.ModeDistribution
-		if *outDir != "" {
-			return fmt.Errorf("-out requires -mode full (distribution mode retains no per-run artefacts)")
-		}
+		cf.mode = core.ModeDistribution
 	default:
 		return fmt.Errorf("unknown -mode %q (want full or distribution)", *mode)
 	}
+	shardIndexSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shard-index" {
+			shardIndexSet = true
+		}
+	})
+	if err := validateCampaignFlags(cf, *out, shardIndexSet); err != nil {
+		return err
+	}
+
 	fmt.Println("plan:", plan)
-	c := &core.Campaign{Plan: plan, Runs: *runs, MasterSeed: *seed, Mode: cmode}
+	if cf.outJSONL != "" {
+		return runShardedCampaign(cf)
+	}
+
+	c := &core.Campaign{Plan: plan, Runs: cf.runs, MasterSeed: cf.seed, Mode: cf.mode}
 	res, err := c.Execute(context.Background())
 	if err != nil {
 		return err
 	}
-	if *outDir != "" {
-		if err := writeArtifacts(*outDir, res); err != nil {
+	if cf.outDir != "" {
+		if err := writeArtifacts(cf.outDir, res); err != nil {
 			return err
 		}
 	}
-	d := analytics.FromCampaign(plan.Name, res)
-	if *csv {
-		fmt.Print(d.CSV())
-		return nil
+	printDistribution(cf, res)
+	if cf.mode == core.ModeFull && !cf.csv {
+		fmt.Print(analytics.InjectionSummary(res))
 	}
-	if *ci {
+	return nil
+}
+
+// runShardedCampaign executes one shard (the whole campaign when
+// -shards is 1) through the dist subsystem, streaming JSONL evidence.
+func runShardedCampaign(cf *campaignFlags) error {
+	spec := &dist.Spec{
+		Plan: cf.plan, Runs: cf.runs, MasterSeed: cf.seed,
+		Shards: cf.shards, Mode: cf.mode,
+	}
+	sh, err := spec.Shard(cf.shardIndex)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d/%d: runs [%d, %d) of %d, plan hash %#x\n",
+		cf.shardIndex, cf.shards, sh.Start, sh.End, cf.runs, cf.plan.Hash())
+	res, skipped, err := dist.ExecuteShard(context.Background(), spec, cf.shardIndex, 0, cf.outJSONL)
+	if err != nil {
+		return err
+	}
+	if skipped {
+		fmt.Printf("%s already holds this shard, completed — skipped (merge-ready)\n", cf.outJSONL)
+	} else {
+		fmt.Printf("wrote %d run records + manifest + summary to %s\n", res.Total(), cf.outJSONL)
+	}
+	printDistribution(cf, res)
+	// Full mode retains the runs, so the injection summary is available
+	// exactly as on the unsharded path (a resumed shard reloads only the
+	// aggregate, so there is nothing to summarise then).
+	if cf.mode == core.ModeFull && !cf.csv && len(res.Runs) > 0 {
+		fmt.Print(analytics.InjectionSummary(res))
+	}
+	if cf.shards > 1 {
+		fmt.Printf("(shard aggregate only — fold all %d shards with 'certify merge')\n", cf.shards)
+	}
+	return nil
+}
+
+// printDistribution renders a campaign (or shard) aggregate per flags.
+func printDistribution(cf *campaignFlags, res *core.CampaignResult) {
+	d := analytics.FromCampaign(cf.plan.Name, res)
+	if cf.csv {
+		fmt.Print(d.CSV())
+		return
+	}
+	if cf.ci {
 		fmt.Print(d.TableWithCI())
 		fmt.Println()
 	}
 	fmt.Print(d.Bars(50))
 	fmt.Println()
-	if cmode == core.ModeFull {
-		fmt.Print(analytics.InjectionSummary(res))
+}
+
+// cmdMerge verifies shard artefacts and prints the merged campaign.
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
+	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("merge needs the shard artefact files: certify merge shard-*.jsonl")
+	}
+	res, shards, err := dist.Merge(paths)
+	if err != nil {
+		return err
+	}
+	first := shards[0].Manifest
+	fmt.Printf("merged %d shards, %d runs, plan %s (hash %s), master seed %s\n",
+		len(shards), res.Total(), first.Plan, first.PlanHash, first.MasterSeed)
+	cf := &campaignFlags{csv: *csv, ci: *ci}
+	cf.plan = &core.TestPlan{Name: first.Plan}
+	printDistribution(cf, res)
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,117 @@ func TestCmdReportSmall(t *testing.T) {
 	}
 	if err := cmdReport([]string{"-runs", "4", "-duration", "10s"}); err != nil {
 		t.Fatalf("report: %v", err)
+	}
+}
+
+// shortPlanFile writes a plan file with a shortened duration so CLI
+// campaign tests stay fast.
+func shortPlanFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "e3-short.plan")
+	plan := `name      = E3-cli-short
+points    = arch_handle_trap
+intensity = medium
+cpu       = 1
+cell      = freertos-cell
+duration  = 8s
+workload  = steady
+`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCampaignFlagValidation pins the -out/-shards/-shard-index
+// contract: every bad combination is rejected before any run executes,
+// with an error message naming the fix.
+func TestCampaignFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards"},
+		{"shards over runs", []string{"-runs", "4", "-shards", "8", "-shard-index", "0", "-out", "s.jsonl"}, "at most one shard per run"},
+		{"shards without index", []string{"-runs", "12", "-shards", "3", "-out", "s.jsonl"}, "-shard-index"},
+		{"index without shards", []string{"-runs", "12", "-shard-index", "1"}, "-shards"},
+		{"index out of range", []string{"-runs", "12", "-shards", "3", "-shard-index", "3", "-out", "s.jsonl"}, "out of range"},
+		{"sharded without out", []string{"-runs", "12", "-shards", "3", "-shard-index", "1"}, ".jsonl"},
+		{"dir artefacts in distribution mode", []string{"-mode", "distribution", "-out", "artefacts"}, "-mode full"},
+		{"unknown mode", []string{"-mode", "turbo"}, "unknown -mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cmdCampaign(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCmdShardedCampaignAndMerge drives the full CLI story: three shard
+// invocations (as three processes would run them), a resume no-op, and
+// the merge that reassembles the campaign.
+func TestCmdShardedCampaignAndMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	planfile := shortPlanFile(t)
+	dir := t.TempDir()
+	paths := make([]string, 3)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		args := []string{
+			"-planfile", planfile, "-runs", "9", "-seed", "2022",
+			"-mode", "distribution", "-shards", "3",
+			"-shard-index", fmt.Sprint(i), "-out", paths[i], "-csv",
+		}
+		if err := cmdCampaign(args); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	// Rerunning a completed shard must be a cheap no-op, not a redo.
+	if err := cmdCampaign([]string{
+		"-planfile", planfile, "-runs", "9", "-seed", "2022",
+		"-mode", "distribution", "-shards", "3",
+		"-shard-index", "0", "-out", paths[0], "-csv",
+	}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := cmdMerge(append([]string{"-csv"}, paths...)); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// Merging a strict subset must fail loudly.
+	if err := cmdMerge(paths[:2]); err == nil {
+		t.Fatal("merge of 2/3 shards accepted")
+	}
+	if err := cmdMerge(nil); err == nil {
+		t.Fatal("merge with no files accepted")
+	}
+}
+
+// TestCmdCampaignJSONLUnsharded: -out FILE.jsonl without -shards runs
+// the whole campaign as one merge-ready shard, in either mode.
+func TestCmdCampaignJSONLUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	planfile := shortPlanFile(t)
+	out := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := cmdCampaign([]string{
+		"-planfile", planfile, "-runs", "4", "-mode", "distribution",
+		"-out", out, "-csv",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMerge([]string{out}); err != nil {
+		t.Fatalf("single-file merge: %v", err)
 	}
 }
 

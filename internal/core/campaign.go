@@ -88,20 +88,28 @@ func (c *CampaignResult) MeanDetectionLatency() sim.Time {
 	return c.detectSum / sim.Time(c.detectN)
 }
 
+// AddSample folds one run's classification into the aggregate without a
+// RunResult — the path dist.Merge uses to rebuild a CampaignResult from
+// streamed JSONL records. detection < 0 means "nothing detected" and is
+// excluded from the latency mean, mirroring RunResult.DetectionLatency.
+func (c *CampaignResult) AddSample(o Outcome, injections int, detection sim.Time) {
+	if c.byClass == nil {
+		c.byClass = make(map[Outcome]int, int(numOutcomes))
+	}
+	c.byClass[o]++
+	c.total++
+	c.injections += injections
+	if detection >= 0 {
+		c.detectSum += detection
+		c.detectN++
+	}
+}
+
 // addRun folds one classified run into the aggregate. retain keeps the
 // RunResult itself (ModeFull); otherwise only the counters are updated
 // and the run becomes garbage immediately.
 func (c *CampaignResult) addRun(r *RunResult, retain bool) {
-	if c.byClass == nil {
-		c.byClass = make(map[Outcome]int, int(numOutcomes))
-	}
-	c.byClass[r.Outcome()]++
-	c.total++
-	c.injections += len(r.Injections)
-	if r.DetectionLatency >= 0 {
-		c.detectSum += r.DetectionLatency
-		c.detectN++
-	}
+	c.AddSample(r.Outcome(), len(r.Injections), r.DetectionLatency)
 	if retain {
 		c.Runs = append(c.Runs, r)
 	}
@@ -148,6 +156,22 @@ type Campaign struct {
 	Workers int
 	// Mode selects evidence retention; the zero value is ModeFull.
 	Mode CampaignMode
+	// Offset is the global index of this campaign's first run in the
+	// MasterSeed chain: the campaign executes runs [Offset, Offset+Runs)
+	// of the larger campaign the chain describes. Seeds are derived by
+	// advancing the SplitMix64 chain Offset times before taking Runs
+	// outputs, so the union of shard campaigns over disjoint windows is
+	// bit-identical to one campaign covering the whole range. Zero for
+	// ordinary (unsharded) campaigns.
+	Offset int
+	// OnRun, when non-nil, observes every classified run before
+	// Distribution mode drops it: the streaming-artefact hook. It
+	// receives the run's global index (Offset + scheduling index) and the
+	// full RunResult, including TraceHash, which is computed only when
+	// this hook is set. Workers call it concurrently and in completion
+	// order, not index order — the callback must be goroutine-safe and
+	// must not retain r past the call in ModeDistribution.
+	OnRun func(index int, r *RunResult)
 }
 
 // Execute runs the campaign. ctx cancellation stops scheduling new runs
@@ -171,9 +195,18 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 		workers = n
 	}
 
-	// Pre-derive all seeds so the assignment is order-independent.
-	seeds := make([]uint64, n)
+	if c.Offset < 0 {
+		return nil, fmt.Errorf("core: campaign offset %d is negative", c.Offset)
+	}
+
+	// Pre-derive all seeds so the assignment is order-independent. The
+	// chain is advanced past the Offset window first: shard campaigns draw
+	// the same seeds the full campaign would have assigned to their runs.
 	state := c.MasterSeed
+	for i := 0; i < c.Offset; i++ {
+		sim.SplitMix64(&state)
+	}
+	seeds := make([]uint64, n)
 	for i := range seeds {
 		seeds[i] = sim.SplitMix64(&state)
 	}
@@ -199,12 +232,19 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ro := RunOptions{Mode: c.Mode, Scratch: NewRunScratch()}
+			ro := RunOptions{
+				Mode:             c.Mode,
+				Scratch:          NewRunScratch(),
+				CaptureTraceHash: c.OnRun != nil,
+			}
 			for idx := range work {
 				r, err := RunExperimentOpts(c.Plan, seeds[idx], ro)
 				if err != nil {
 					errs[idx] = err
 					continue
+				}
+				if c.OnRun != nil {
+					c.OnRun(c.Offset+idx, r)
 				}
 				if retain {
 					results[idx] = r
@@ -228,7 +268,9 @@ feed:
 	agg := &CampaignResult{Plan: c.Plan.Name}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("run %d (seed %#x): %w", i, seeds[i], err)
+			// Report the global index: artefacts, manifests and OnRun all
+			// identify runs that way, so the operator can cross-reference.
+			return nil, fmt.Errorf("run %d (seed %#x): %w", c.Offset+i, seeds[i], err)
 		}
 	}
 	if retain {

@@ -42,6 +42,7 @@ type runExport struct {
 	LEDToggles      int               `json:"led_toggles"`
 	HorizonNS       int64             `json:"horizon_ns"`
 	DetectionNS     int64             `json:"detection_latency_ns"`
+	TraceHash       string            `json:"trace_hash,omitempty"` // hex; only when captured
 	RootTranscript  string            `json:"root_transcript"`
 	CellTranscript  string            `json:"cell_transcript"`
 	HypervisorLines []string          `json:"hypervisor_console"`
@@ -71,6 +72,9 @@ func (r *RunResult) ExportJSON() ([]byte, error) {
 		RootTranscript:  r.RootTranscript,
 		CellTranscript:  r.CellTranscript,
 		HypervisorLines: r.HVConsole,
+	}
+	if r.TraceHash != 0 {
+		exp.TraceHash = fmt.Sprintf("%#x", r.TraceHash)
 	}
 	for _, rec := range r.Injections {
 		names := make([]string, len(rec.Fields))

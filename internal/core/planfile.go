@@ -48,6 +48,18 @@ func MarshalPlan(p *TestPlan) string {
 	return b.String()
 }
 
+// Hash returns a stable digest of the plan's canonical plan-file
+// rendering. It is the fingerprint sharded campaigns write into their
+// artefact manifests: two shard processes may only be merged when they
+// ran the same plan, and "same plan" is defined as equal Hash. Custom
+// fault models (NewCustomPlan) fall back to the nearest named field set
+// in MarshalPlan, so plans that differ only in an in-process custom
+// model are indistinguishable here — plan files cannot express those
+// either.
+func (p *TestPlan) Hash() uint64 {
+	return sim.HashString(MarshalPlan(p))
+}
+
 // ParsePlan parses the plan-file format.
 func ParsePlan(text string) (*TestPlan, error) {
 	p := &TestPlan{TargetCPU: AnyCPU}

@@ -36,6 +36,14 @@ type RunResult struct {
 	// cares about this number: it bounds how long a corrupted system
 	// runs before anyone notices.
 	DetectionLatency sim.Time
+
+	// TraceHash is the stable digest of the run's full event trace
+	// (sim.Trace.Hash), the per-run reproducibility fingerprint shard
+	// artefacts carry: two processes that claim the same run of the same
+	// campaign must produce the same hash. Zero unless
+	// RunOptions.CaptureTraceHash was set — hashing renders every trace
+	// message, so ordinary campaigns skip it.
+	TraceHash uint64
 }
 
 // Outcome is shorthand for the verdict's outcome.
@@ -50,6 +58,9 @@ type RunOptions struct {
 	// Scratch, when non-nil, recycles the engine/trace/UART buffers of a
 	// previous run on the same worker. Never share between goroutines.
 	Scratch *RunScratch
+	// CaptureTraceHash computes RunResult.TraceHash after classification.
+	// Campaigns enable it when a streaming artefact hook is installed.
+	CaptureTraceHash bool
 }
 
 // RunExperiment executes one fault-injection run with full evidence
@@ -109,6 +120,9 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 		CellLines:        m.Board.UART7.LineCount(),
 		Horizon:          m.Board.Now(),
 		DetectionLatency: detectionLatency(m, inj.FirstInjectionAt()),
+	}
+	if ro.CaptureTraceHash {
+		res.TraceHash = m.Board.Trace().Hash()
 	}
 	if ro.Mode == ModeFull {
 		res.CallCounts = inj.Calls()

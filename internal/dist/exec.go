@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// ExecuteShard runs one shard of the campaign, streaming its evidence
+// to the JSONL artefact at outPath. It is idempotent per path: when the
+// file already holds this exact shard, completed, the run is skipped
+// and the stored aggregate is returned (skipped=true) — rerunning a
+// half-finished fan-out only executes the shards that did not finish.
+// A readable file that belongs to a *different* campaign is never
+// overwritten; that is an operator mistake, reported as an error.
+func ExecuteShard(ctx context.Context, spec *Spec, index, workers int, outPath string) (res *core.CampaignResult, skipped bool, err error) {
+	sh, err := spec.Shard(index)
+	if err != nil {
+		return nil, false, err
+	}
+	if outPath == "" {
+		return nil, false, fmt.Errorf("dist: shard %d needs an artefact path", index)
+	}
+	want := sh.Manifest()
+
+	if st, statErr := os.Stat(outPath); statErr == nil && st.Size() > 0 {
+		prev, readErr := ReadShard(outPath)
+		if readErr != nil {
+			return nil, false, fmt.Errorf("dist: %s exists but is unreadable (%w) — delete it to rerun the shard", outPath, readErr)
+		}
+		if !prev.Manifest.matches(want) {
+			return nil, false, fmt.Errorf("dist: %s holds a different shard (%s) — refusing to overwrite",
+				outPath, prev.Manifest.diff(want))
+		}
+		if prev.Complete {
+			return prev.Result, true, nil
+		}
+		// Same shard, crashed before its summary: fall through and rerun.
+	}
+
+	w, err := CreateJSONL(outPath)
+	if err != nil {
+		return nil, false, err
+	}
+	defer w.Close()
+	if err := w.WriteManifest(want); err != nil {
+		return nil, false, err
+	}
+
+	// A failed artefact write (disk full, ...) makes the whole shard
+	// unusable — cancel the campaign instead of simulating the remaining
+	// runs for a file that can never become complete.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c := sh.Campaign(workers, func(index int, r *core.RunResult) {
+		w.OnRun(index, r)
+		if w.Err() != nil {
+			cancel()
+		}
+	})
+	res, err = c.Execute(ctx)
+	if werr := w.Err(); werr != nil {
+		return nil, false, fmt.Errorf("dist: shard %d artefact write to %s: %w", index, outPath, werr)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Total() != sh.Runs() {
+		// Cancelled mid-shard: leave the file without a summary so the
+		// next invocation reruns it.
+		return res, false, fmt.Errorf("dist: shard %d completed %d of %d runs (cancelled?) — artefact left incomplete for rerun",
+			index, res.Total(), sh.Runs())
+	}
+	if err := w.WriteSummary(res); err != nil {
+		return nil, false, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}

@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// SchemaVersion is the JSONL artefact schema generation. Readers refuse
+// files written by a newer schema; bump it on any incompatible change to
+// the record shapes below.
+const SchemaVersion = 1
+
+// Line discriminators (the "type" field every record leads with).
+const (
+	recordManifest = "manifest"
+	recordRun      = "run"
+	recordSummary  = "summary"
+)
+
+// Manifest is the first line of a shard artefact file: everything a
+// merge needs to decide whether this file belongs to the campaign it is
+// assembling — and to refuse it loudly when it does not.
+type Manifest struct {
+	Type       string `json:"type"`        // "manifest"
+	Schema     int    `json:"schema"`      // SchemaVersion
+	Plan       string `json:"plan"`        // plan name, for humans
+	PlanHash   string `json:"plan_hash"`   // hex core.TestPlan.Hash — the machine check
+	MasterSeed string `json:"master_seed"` // hex
+	Runs       int    `json:"runs"`        // total campaign runs across all shards
+	Shards     int    `json:"shards"`      // shard count K
+	Shard      int    `json:"shard"`       // this file's shard index
+	Start      int    `json:"start"`       // first global run index, inclusive
+	End        int    `json:"end"`         // last global run index, exclusive
+	Mode       string `json:"mode"`        // evidence retention mode
+}
+
+// matches reports whether two manifests describe the same shard of the
+// same campaign. The plan hash — not the name — is the identity check.
+func (m Manifest) matches(o Manifest) bool {
+	return m.Schema == o.Schema && m.PlanHash == o.PlanHash &&
+		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
+		m.Shards == o.Shards && m.Shard == o.Shard &&
+		m.Start == o.Start && m.End == o.End && m.Mode == o.Mode
+}
+
+// diff names the fields where m and o disagree, for error messages that
+// point at the actual mismatch instead of a generic refusal.
+func (m Manifest) diff(o Manifest) string {
+	var parts []string
+	add := func(field string, a, b any) {
+		if a != b {
+			parts = append(parts, fmt.Sprintf("%s %v vs %v", field, a, b))
+		}
+	}
+	add("schema", m.Schema, o.Schema)
+	add("plan hash", m.PlanHash, o.PlanHash)
+	add("master seed", m.MasterSeed, o.MasterSeed)
+	add("runs", m.Runs, o.Runs)
+	add("shards", m.Shards, o.Shards)
+	add("shard index", m.Shard, o.Shard)
+	add("window start", m.Start, o.Start)
+	add("window end", m.End, o.End)
+	add("mode", m.Mode, o.Mode)
+	if len(parts) == 0 {
+		return "identical manifests"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sameCampaign reports whether two manifests (of different shards) come
+// from the same campaign spec.
+func (m Manifest) sameCampaign(o Manifest) bool {
+	return m.Schema == o.Schema && m.PlanHash == o.PlanHash &&
+		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
+		m.Shards == o.Shards && m.Mode == o.Mode
+}
+
+// RunRecord is one line per classified run — the per-run evidence the
+// paper's rig logged, reduced to what Distribution mode can afford to
+// keep plus whatever the retention mode captured. Transcripts appear
+// only when the shard ran in full mode; the streaming writer never
+// re-enables transcript retention on its own.
+type RunRecord struct {
+	Type        string   `json:"type"`  // "run"
+	Index       int      `json:"index"` // global run index in [Start, End)
+	Seed        string   `json:"seed"`  // hex per-run seed
+	Outcome     string   `json:"outcome"`
+	Injections  int      `json:"injections"`
+	DetectionNS int64    `json:"detection_latency_ns"` // -1 = nothing detected
+	HorizonNS   int64    `json:"horizon_ns"`
+	CellLines   int      `json:"cell_console_lines"`
+	TraceHash   string   `json:"trace_hash"` // hex sim.Trace.Hash
+	Evidence    []string `json:"evidence,omitempty"`
+	Root        string   `json:"root_transcript,omitempty"` // full mode only
+	Cell        string   `json:"cell_transcript,omitempty"` // full mode only
+}
+
+// Summary is the footer line: the shard's aggregate distribution. Its
+// presence is the completion marker — a file without a summary is a
+// crashed shard and is rerun, not merged.
+type Summary struct {
+	Type         string         `json:"type"` // "summary"
+	Runs         int            `json:"runs"`
+	Distribution map[string]int `json:"distribution"`
+	Injections   int            `json:"injections_total"`
+	MeanDetectNS int64          `json:"mean_detection_latency_ns"`
+}
+
+// JSONLWriter streams campaign evidence as JSON Lines: one manifest,
+// one record per run as it classifies, one summary footer. Its OnRun
+// method plugs directly into core.Campaign.OnRun; workers call it
+// concurrently, so every write is serialised under an internal mutex.
+// Record order in the file is completion order — consumers key on the
+// index field, never on line position.
+type JSONLWriter struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	file *os.File // nil when wrapping a caller-owned io.Writer
+	err  error    // first write error; OnRun cannot return one
+	runs int
+}
+
+// NewJSONLWriter wraps a caller-owned writer (Close flushes but does not
+// close it).
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// CreateJSONL creates (or truncates) the artefact file at path.
+func CreateJSONL(path string) (*JSONLWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLWriter{w: bufio.NewWriter(f), file: f}, nil
+}
+
+// writeLine marshals v and appends it as one line. Callers hold mu.
+func (jw *JSONLWriter) writeLine(v any) error {
+	if jw.err != nil {
+		return jw.err
+	}
+	data, err := json.Marshal(v)
+	if err == nil {
+		_, err = jw.w.Write(append(data, '\n'))
+	}
+	if err != nil {
+		jw.err = err
+	}
+	return err
+}
+
+// WriteManifest emits the header line. Call it exactly once, first.
+func (jw *JSONLWriter) WriteManifest(m Manifest) error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.writeLine(m)
+}
+
+// OnRun is the campaign streaming hook: it renders r as a RunRecord and
+// appends it. Write errors are sticky and surface via Err/Close — the
+// campaign callback has nowhere to return them.
+func (jw *JSONLWriter) OnRun(index int, r *core.RunResult) {
+	rec := RunRecord{
+		Type:        recordRun,
+		Index:       index,
+		Seed:        fmt.Sprintf("%#x", r.Seed),
+		Outcome:     r.Outcome().String(),
+		Injections:  len(r.Injections),
+		DetectionNS: int64(r.DetectionLatency),
+		HorizonNS:   int64(r.Horizon),
+		CellLines:   r.CellLines,
+		TraceHash:   fmt.Sprintf("%#x", r.TraceHash),
+		Evidence:    r.Verdict.Evidence,
+		Root:        r.RootTranscript,
+		Cell:        r.CellTranscript,
+	}
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.writeLine(rec) == nil {
+		jw.runs++
+	}
+}
+
+// WriteSummary emits the completion footer from the shard's aggregate.
+func (jw *JSONLWriter) WriteSummary(res *core.CampaignResult) error {
+	dist := make(map[string]int, len(core.AllOutcomes()))
+	for _, o := range core.AllOutcomes() {
+		dist[o.String()] = res.Count(o)
+	}
+	s := Summary{
+		Type:         recordSummary,
+		Runs:         res.Total(),
+		Distribution: dist,
+		Injections:   res.InjectionsTotal(),
+		MeanDetectNS: int64(res.MeanDetectionLatency()),
+	}
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.writeLine(s)
+}
+
+// Runs returns how many run records were written.
+func (jw *JSONLWriter) Runs() int {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.runs
+}
+
+// Err returns the first write error, if any.
+func (jw *JSONLWriter) Err() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.err
+}
+
+// Close flushes and (for CreateJSONL writers) closes the file,
+// returning the first error seen anywhere in the stream.
+func (jw *JSONLWriter) Close() error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if err := jw.w.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	if jw.file != nil {
+		if err := jw.file.Close(); err != nil && jw.err == nil {
+			jw.err = err
+		}
+		jw.file = nil
+	}
+	return jw.err
+}

@@ -1,0 +1,240 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// maxLineBytes bounds one JSONL line. Full-mode records embed whole
+// serial transcripts, which reach megabytes on minute-long runs.
+const maxLineBytes = 64 << 20
+
+// ShardFile is one parsed shard artefact: its manifest, completion
+// state, and the aggregate rebuilt from its run records.
+type ShardFile struct {
+	Path     string
+	Manifest Manifest
+	// Complete is true when the file carries a summary footer whose
+	// counts match the folded run records — the shard finished cleanly.
+	Complete bool
+	// HasSummary is true when a summary footer line was parsed at all
+	// (it may still disagree with the records; see Complete).
+	HasSummary bool
+	// Records is the number of run records present.
+	Records int
+	// Result is the shard's aggregate, rebuilt record by record (not
+	// trusted from the footer; the footer only confirms it).
+	Result *core.CampaignResult
+	// TraceHashes maps global run index → trace hash, the per-run
+	// reproducibility fingerprints the invariance checks compare.
+	TraceHashes map[int]uint64
+}
+
+// parseOutcome maps a taxonomy name back to the classifier's outcome.
+func parseOutcome(s string) (core.Outcome, error) {
+	for _, o := range core.AllOutcomes() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: unknown outcome %q", s)
+}
+
+func parseHex(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}
+
+// ReadShard parses one shard artefact file: manifest first line, run
+// records folded into a CampaignResult, optional summary footer. It
+// validates record indices against the manifest's window and rejects
+// duplicates; a missing or inconsistent footer yields Complete=false
+// rather than an error, because that is the normal state of a crashed
+// shard awaiting rerun.
+func ReadShard(path string) (*ShardFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("dist: %s: %w", path, err)
+		}
+		return nil, fmt.Errorf("dist: %s is empty (no manifest line)", path)
+	}
+	var m Manifest
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m.Type != recordManifest {
+		return nil, fmt.Errorf("dist: %s does not start with a manifest line", path)
+	}
+	if m.Schema > SchemaVersion {
+		return nil, fmt.Errorf("dist: %s uses schema %d, this build reads up to %d", path, m.Schema, SchemaVersion)
+	}
+	if m.Runs <= 0 || m.Shards <= 0 || m.Shard < 0 || m.Shard >= m.Shards {
+		return nil, fmt.Errorf("dist: %s manifest declares shard %d of %d over %d runs — inconsistent", path, m.Shard, m.Shards, m.Runs)
+	}
+	if m.Start < 0 || m.End < m.Start || m.End > m.Runs {
+		return nil, fmt.Errorf("dist: %s manifest window [%d,%d) is invalid for %d runs", path, m.Start, m.End, m.Runs)
+	}
+
+	sf := &ShardFile{
+		Path:        path,
+		Manifest:    m,
+		Result:      &core.CampaignResult{Plan: m.Plan},
+		TraceHashes: make(map[int]uint64, m.End-m.Start),
+	}
+	var summary *Summary
+	seen := make(map[int]bool, m.End-m.Start)
+	line := 1
+	for sc.Scan() {
+		line++
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			// A torn trailing line is what a killed process leaves behind;
+			// everything before it still counts.
+			break
+		}
+		switch probe.Type {
+		case recordRun:
+			var rec RunRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return nil, fmt.Errorf("dist: %s line %d: %w", path, line, err)
+			}
+			if rec.Index < m.Start || rec.Index >= m.End {
+				return nil, fmt.Errorf("dist: %s line %d: run index %d outside shard window [%d,%d)",
+					path, line, rec.Index, m.Start, m.End)
+			}
+			if seen[rec.Index] {
+				return nil, fmt.Errorf("dist: %s line %d: duplicate run index %d", path, line, rec.Index)
+			}
+			seen[rec.Index] = true
+			o, err := parseOutcome(rec.Outcome)
+			if err != nil {
+				return nil, fmt.Errorf("dist: %s line %d: %w", path, line, err)
+			}
+			hash, err := parseHex(rec.TraceHash)
+			if err != nil {
+				return nil, fmt.Errorf("dist: %s line %d: bad trace hash %q", path, line, rec.TraceHash)
+			}
+			sf.Result.AddSample(o, rec.Injections, sim.Time(rec.DetectionNS))
+			sf.TraceHashes[rec.Index] = hash
+			sf.Records++
+		case recordSummary:
+			var s Summary
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return nil, fmt.Errorf("dist: %s line %d: %w", path, line, err)
+			}
+			summary = &s
+		default:
+			return nil, fmt.Errorf("dist: %s line %d: unknown record type %q", path, line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: %s: %w", path, err)
+	}
+
+	sf.HasSummary = summary != nil
+	sf.Complete = summary != nil && summaryConfirms(summary, sf) &&
+		sf.Records == m.End-m.Start
+	return sf, nil
+}
+
+// summaryConfirms cross-checks the footer against the folded records.
+func summaryConfirms(s *Summary, sf *ShardFile) bool {
+	if s.Runs != sf.Result.Total() || s.Injections != sf.Result.InjectionsTotal() {
+		return false
+	}
+	for _, o := range core.AllOutcomes() {
+		if s.Distribution[o.String()] != sf.Result.Count(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge reads every shard artefact, verifies the set is one complete,
+// consistent campaign — same plan hash, master seed, total runs, shard
+// count and mode; all K shards present exactly once; windows covering
+// [0, Runs) without gap or overlap; every shard complete — and folds
+// the shard aggregates into one CampaignResult. The per-shard parses
+// are returned alongside for reporting.
+func Merge(paths []string) (*core.CampaignResult, []*ShardFile, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("dist: no shard files to merge")
+	}
+	shards := make([]*ShardFile, 0, len(paths))
+	for _, p := range paths {
+		sf, err := ReadShard(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		shards = append(shards, sf)
+	}
+
+	ref := shards[0].Manifest
+	byIndex := make(map[int]*ShardFile, len(shards))
+	for _, sf := range shards {
+		if !sf.Manifest.sameCampaign(ref) {
+			return nil, shards, fmt.Errorf(
+				"dist: %s belongs to a different campaign than %s (plan hash %s vs %s, seed %s vs %s)",
+				sf.Path, shards[0].Path, sf.Manifest.PlanHash, ref.PlanHash,
+				sf.Manifest.MasterSeed, ref.MasterSeed)
+		}
+		if dup := byIndex[sf.Manifest.Shard]; dup != nil {
+			return nil, shards, fmt.Errorf("dist: shard %d appears twice (%s and %s)",
+				sf.Manifest.Shard, dup.Path, sf.Path)
+		}
+		byIndex[sf.Manifest.Shard] = sf
+		if !sf.Complete {
+			state := "missing"
+			if sf.HasSummary {
+				state = "present but inconsistent with the records"
+			}
+			return nil, shards, fmt.Errorf(
+				"dist: %s is incomplete (%d of %d records, summary %s) — rerun shard %d before merging",
+				sf.Path, sf.Records, sf.Manifest.End-sf.Manifest.Start,
+				state, sf.Manifest.Shard)
+		}
+	}
+	if len(shards) != ref.Shards {
+		missing := make([]int, 0, ref.Shards)
+		for i := 0; i < ref.Shards; i++ {
+			if byIndex[i] == nil {
+				missing = append(missing, i)
+			}
+		}
+		return nil, shards, fmt.Errorf("dist: campaign declares %d shards, got %d files (missing shard indices %v)",
+			ref.Shards, len(shards), missing)
+	}
+
+	// Windows must tile [0, Runs) exactly.
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Manifest.Start < shards[j].Manifest.Start })
+	next := 0
+	for _, sf := range shards {
+		if sf.Manifest.Start != next {
+			return nil, shards, fmt.Errorf("dist: shard windows do not tile the campaign: expected start %d, %s covers [%d,%d)",
+				next, sf.Path, sf.Manifest.Start, sf.Manifest.End)
+		}
+		next = sf.Manifest.End
+	}
+	if next != ref.Runs {
+		return nil, shards, fmt.Errorf("dist: shard windows end at %d, campaign has %d runs", next, ref.Runs)
+	}
+
+	merged := &core.CampaignResult{Plan: ref.Plan}
+	for _, sf := range shards {
+		merged.MergeFrom(sf.Result)
+	}
+	return merged, shards, nil
+}

@@ -1,0 +1,140 @@
+// Package dist turns a single-process fault-injection campaign into a
+// distributed one without giving up the repo's core property: bit-exact
+// seed reproducibility. A campaign of N runs is split into K contiguous
+// shards of the run-index space; every shard derives its per-run seeds
+// from the same MasterSeed/SplitMix64 chain (core.Campaign.Offset), so
+// the union of the shards' runs is identical — run for run, trace hash
+// for trace hash — to the unsharded campaign. Each shard process streams
+// one self-describing JSONL record per run as it classifies
+// (JSONLWriter), and the merge layer folds the shard artefact files back
+// into one core.CampaignResult after verifying their manifests agree.
+// Completed shard files are recognised on rerun and skipped, which makes
+// cluster fan-out restartable: kill a campaign halfway, rerun the same
+// commands, and only the unfinished shards execute.
+package dist
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// Spec describes a complete sharded campaign: the single-process
+// campaign it must reproduce, and how many shards split it. All shard
+// processes of one campaign must be constructed from an identical Spec —
+// the manifest verification in Merge enforces this after the fact.
+type Spec struct {
+	// Plan is the test plan every shard executes.
+	Plan *core.TestPlan
+	// Runs is the total campaign size across all shards.
+	Runs int
+	// MasterSeed seeds the shared SplitMix64 per-run seed chain.
+	MasterSeed uint64
+	// Shards is the number of contiguous index windows (K ≥ 1).
+	Shards int
+	// Mode selects per-run evidence retention inside each shard process.
+	Mode core.CampaignMode
+}
+
+// Validate checks the spec describes a runnable sharded campaign.
+func (s *Spec) Validate() error {
+	if s.Plan == nil {
+		return fmt.Errorf("dist: spec has no plan")
+	}
+	if err := s.Plan.Validate(); err != nil {
+		return err
+	}
+	if s.Runs <= 0 {
+		return fmt.Errorf("dist: spec needs a positive run count, got %d", s.Runs)
+	}
+	if s.Shards <= 0 {
+		return fmt.Errorf("dist: spec needs at least one shard, got %d", s.Shards)
+	}
+	if s.Shards > s.Runs {
+		return fmt.Errorf("dist: %d shards for %d runs — at most one shard per run", s.Shards, s.Runs)
+	}
+	return nil
+}
+
+// Shard is one contiguous window [Start, End) of the campaign's
+// run-index space, assigned to one process.
+type Shard struct {
+	Spec  *Spec
+	Index int
+	Start int // first global run index, inclusive
+	End   int // last global run index, exclusive
+}
+
+// Runs returns the number of runs in the shard.
+func (sh Shard) Runs() int { return sh.End - sh.Start }
+
+// Shard returns the planner's window for shard index i. The split is
+// deterministic and balanced: with N runs and K shards, the first N%K
+// shards get ⌈N/K⌉ runs and the rest ⌊N/K⌋, all contiguous, covering
+// [0, N) exactly. Every process planning the same Spec computes the
+// same windows — no coordination needed.
+func (s *Spec) Shard(i int) (Shard, error) {
+	if err := s.Validate(); err != nil {
+		return Shard{}, err
+	}
+	if i < 0 || i >= s.Shards {
+		return Shard{}, fmt.Errorf("dist: shard index %d out of range [0, %d)", i, s.Shards)
+	}
+	base, rem := s.Runs/s.Shards, s.Runs%s.Shards
+	start := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return Shard{Spec: s, Index: i, Start: start, End: start + size}, nil
+}
+
+// AllShards returns every shard window in index order.
+func (s *Spec) AllShards() ([]Shard, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Shard, s.Shards)
+	for i := range out {
+		sh, err := s.Shard(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sh
+	}
+	return out, nil
+}
+
+// Campaign builds the core.Campaign that executes exactly this shard's
+// window of the master seed chain. onRun is the streaming artefact hook
+// (typically JSONLWriter.OnRun); it may be nil. workers ≤ 0 uses
+// GOMAXPROCS inside the shard process.
+func (sh Shard) Campaign(workers int, onRun func(int, *core.RunResult)) *core.Campaign {
+	return &core.Campaign{
+		Plan:       sh.Spec.Plan,
+		Runs:       sh.Runs(),
+		MasterSeed: sh.Spec.MasterSeed,
+		Workers:    workers,
+		Mode:       sh.Spec.Mode,
+		Offset:     sh.Start,
+		OnRun:      onRun,
+	}
+}
+
+// Manifest returns the self-describing header every artefact file of
+// this shard must carry.
+func (sh Shard) Manifest() Manifest {
+	return Manifest{
+		Type:       recordManifest,
+		Schema:     SchemaVersion,
+		Plan:       sh.Spec.Plan.Name,
+		PlanHash:   fmt.Sprintf("%#x", sh.Spec.Plan.Hash()),
+		MasterSeed: fmt.Sprintf("%#x", sh.Spec.MasterSeed),
+		Runs:       sh.Spec.Runs,
+		Shards:     sh.Spec.Shards,
+		Shard:      sh.Index,
+		Start:      sh.Start,
+		End:        sh.End,
+		Mode:       sh.Spec.Mode.String(),
+	}
+}

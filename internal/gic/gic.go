@@ -9,7 +9,7 @@ package gic
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // Interrupt ID ranges (GICv2).
@@ -39,15 +39,34 @@ func IsPPI(id int) bool { return id >= NumSGI && id < NumSGI+NumPPI }
 // IsSPI reports whether id is a shared peripheral interrupt.
 func IsSPI(id int) bool { return id >= NumSGI+NumPPI && id < MaxIRQ }
 
+// irqSet is a fixed-size interrupt-ID bitmap (MaxIRQ bits, two words in
+// this model). It replaces the per-CPU pending/active maps: membership
+// is a mask test, clearing a core is a word fill, and iteration walks
+// set bits in ascending ID order — which is exactly Acknowledge's
+// deterministic lowest-ID tie-break, now by construction instead of by
+// sorting a scratch slice. Everything is O(words) and allocation-free.
+type irqSet [(MaxIRQ + 63) / 64]uint64
+
+func (s *irqSet) set(id int)      { s[id>>6] |= 1 << uint(id&63) }
+func (s *irqSet) clear(id int)    { s[id>>6] &^= 1 << uint(id&63) }
+func (s *irqSet) has(id int) bool { return s[id>>6]&(1<<uint(id&63)) != 0 }
+
+func (s *irqSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // perCPU holds banked per-core interrupt state (SGIs+PPIs pending/active,
 // the CPU interface registers).
 type perCPU struct {
-	pending map[int]bool
-	active  map[int]bool
-	sgiSrc  map[int]int // pending SGI id → source CPU
-	priMask uint8       // GICC_PMR: only priorities < mask are delivered
-	enabled bool        // GICC_CTLR enable bit
-	ackIDs  []int       // reusable Acknowledge scratch (deterministic sort)
+	pending irqSet
+	active  irqSet
+	sgiSrc  [NumSGI]int8 // pending SGI id → source CPU
+	priMask uint8        // GICC_PMR: only priorities < mask are delivered
+	enabled bool         // GICC_CTLR enable bit
 }
 
 // Distributor is the shared GICD state plus the per-CPU interfaces.
@@ -73,9 +92,6 @@ func New(numCPUs int) *Distributor {
 	d := &Distributor{numCPUs: numCPUs}
 	for i := 0; i < numCPUs; i++ {
 		d.cpus = append(d.cpus, &perCPU{
-			pending: make(map[int]bool),
-			active:  make(map[int]bool),
-			sgiSrc:  make(map[int]int),
 			priMask: 0xFF, // all priorities allowed through once enabled
 		})
 	}
@@ -175,7 +191,7 @@ func (d *Distributor) RaiseSPI(id int) error {
 		if d.targets[id]&(1<<uint(cpu)) == 0 {
 			continue
 		}
-		d.cpus[cpu].pending[id] = true
+		d.cpus[cpu].pending.set(id)
 		delivered = true
 		d.maybeDeliver(cpu, id)
 	}
@@ -196,7 +212,7 @@ func (d *Distributor) RaisePPI(cpu, id int) error {
 	if p == nil {
 		return fmt.Errorf("gic: no cpu %d", cpu)
 	}
-	p.pending[id] = true
+	p.pending.set(id)
 	d.maybeDeliver(cpu, id)
 	return nil
 }
@@ -213,8 +229,8 @@ func (d *Distributor) SendSGI(srcCPU int, targetMask uint8, id int) error {
 			continue
 		}
 		p := d.cpus[cpu]
-		p.pending[id] = true
-		p.sgiSrc[id] = srcCPU
+		p.pending.set(id)
+		p.sgiSrc[id] = int8(srcCPU)
 		d.maybeDeliver(cpu, id)
 	}
 	return nil
@@ -232,7 +248,7 @@ func (d *Distributor) deliverable(cpu, irq int) bool {
 	if d.priority[irq] >= p.priMask {
 		return false
 	}
-	return !p.active[irq]
+	return !p.active.has(irq)
 }
 
 func (d *Distributor) maybeDeliver(cpu, irq int) {
@@ -251,34 +267,39 @@ func (d *Distributor) Acknowledge(cpu int) (irq int, srcCPU int) {
 		return SpuriousIRQ, 0
 	}
 	best, bestPri := SpuriousIRQ, uint16(0x100)
-	ids := p.ackIDs[:0]
-	for id := range p.pending {
-		ids = append(ids, id)
-	}
-	p.ackIDs = ids
-	sort.Ints(ids) // deterministic tie-break: lowest ID wins
-	for _, id := range ids {
-		if !d.deliverable(cpu, id) {
-			continue
-		}
-		if uint16(d.priority[id]) < bestPri {
-			best, bestPri = id, uint16(d.priority[id])
+	for w, word := range p.pending {
+		for word != 0 {
+			id := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1 // clear lowest set bit
+			if !d.deliverable(cpu, id) {
+				continue
+			}
+			// Strict < keeps the lowest-ID tie-break: bits are visited in
+			// ascending ID order, so the first of an equal-priority pair
+			// wins, exactly as the sorted-slice implementation did.
+			if uint16(d.priority[id]) < bestPri {
+				best, bestPri = id, uint16(d.priority[id])
+			}
 		}
 	}
 	if best == SpuriousIRQ {
 		return SpuriousIRQ, 0
 	}
-	delete(p.pending, best)
-	p.active[best] = true
-	src := p.sgiSrc[best]
-	delete(p.sgiSrc, best)
+	p.pending.clear(best)
+	p.active.set(best)
+	var src int
+	if IsSGI(best) {
+		src = int(p.sgiSrc[best])
+		p.sgiSrc[best] = 0
+	}
 	return best, src
 }
 
 // EOI implements a GICC_EOIR write: deactivates the interrupt on the core.
+// Out-of-range IDs (including SpuriousIRQ) are ignored, as before.
 func (d *Distributor) EOI(cpu, irq int) {
-	if p := d.cpu(cpu); p != nil {
-		delete(p.active, irq)
+	if p := d.cpu(cpu); p != nil && irq >= 0 && irq < MaxIRQ {
+		p.active.clear(irq)
 		// A still-pending level interrupt would re-deliver here; our
 		// sources re-raise explicitly, so nothing further to do.
 	}
@@ -287,13 +308,13 @@ func (d *Distributor) EOI(cpu, irq int) {
 // Pending reports whether irq is pending (not yet acknowledged) on cpu.
 func (d *Distributor) Pending(cpu, irq int) bool {
 	p := d.cpu(cpu)
-	return p != nil && p.pending[irq]
+	return p != nil && irq >= 0 && irq < MaxIRQ && p.pending.has(irq)
 }
 
 // Active reports whether irq is active (ack'd, not EOI'd) on cpu.
 func (d *Distributor) Active(cpu, irq int) bool {
 	p := d.cpu(cpu)
-	return p != nil && p.active[irq]
+	return p != nil && irq >= 0 && irq < MaxIRQ && p.active.has(irq)
 }
 
 // PendingCount returns the number of pending interrupts on cpu.
@@ -302,7 +323,7 @@ func (d *Distributor) PendingCount(cpu int) int {
 	if p == nil {
 		return 0
 	}
-	return len(p.pending)
+	return p.pending.count()
 }
 
 // ClearCPU drops all pending/active state for a core — what happens when
@@ -312,7 +333,7 @@ func (d *Distributor) ClearCPU(cpu int) {
 	if p == nil {
 		return
 	}
-	p.pending = make(map[int]bool)
-	p.active = make(map[int]bool)
-	p.sgiSrc = make(map[int]int)
+	p.pending = irqSet{}
+	p.active = irqSet{}
+	p.sgiSrc = [NumSGI]int8{}
 }

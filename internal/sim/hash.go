@@ -1,0 +1,21 @@
+package sim
+
+import "hash/fnv"
+
+// Stable 64-bit digests (FNV-1a, the same function Trace.Hash uses).
+// Campaign manifests fingerprint their test plan with these so that a
+// merge of shard artefacts can refuse inputs produced by a different
+// plan: the digest of a canonical rendering must stay identical across
+// processes, architectures and Go releases.
+
+// HashBytes returns the FNV-1a 64-bit digest of b.
+func HashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// HashString returns the FNV-1a 64-bit digest of s.
+func HashString(s string) uint64 {
+	return HashBytes([]byte(s))
+}

@@ -4,6 +4,9 @@
 # Usage:
 #   scripts/bench.sh                 # full suite, 1 iteration each
 #   scripts/bench.sh Figure3         # only benchmarks matching the regex
+#   scripts/bench.sh sharded         # the sharded-campaign throughput family
+#                                    # (BenchmarkShardedCampaign: K-shard
+#                                    # fan-out + JSONL artefacts + merge)
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
 #   OUT=mybench.json scripts/bench.sh
 #
@@ -15,6 +18,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-.}"
+# Convenience alias: "sharded" selects the distributed-campaign family.
+if [ "$PATTERN" = "sharded" ]; then
+    PATTERN='ShardedCampaign'
+fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
 
