@@ -15,12 +15,14 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/armv7"
 	"github.com/dessertlab/certify/internal/board"
 	"github.com/dessertlab/certify/internal/core"
 	"github.com/dessertlab/certify/internal/dist"
+	"github.com/dessertlab/certify/internal/fanout"
 	"github.com/dessertlab/certify/internal/gic"
 	"github.com/dessertlab/certify/internal/jailhouse"
 	"github.com/dessertlab/certify/internal/sim"
@@ -255,6 +257,47 @@ func BenchmarkShardedCampaign(b *testing.B) {
 					b.Fatal(err)
 				}
 				merged = res
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(runs)*float64(b.N)/secs, "runs_per_sec")
+			}
+			b.ReportMetric(100*merged.Fraction(core.OutcomeCorrect), "correct_pct")
+		})
+	}
+}
+
+// BenchmarkFanoutCampaign measures the supervised path end to end:
+// fanout.Run planning the shards, launching in-process workers, tailing
+// their artefacts, merging and writing fanout.json. runs_per_sec lines
+// up with BenchmarkShardedCampaign (same shard execution underneath);
+// the delta is the supervision overhead — tail polling, manifest
+// bookkeeping and the post-completion merge. Each iteration uses a
+// fresh campaign directory so resume skipping cannot turn iterations
+// 2..N into no-ops.
+func BenchmarkFanoutCampaign(b *testing.B) {
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-fanout-throughput"
+	const runs = 200
+	for _, k := range []int{4} {
+		k := k
+		b.Run(fmt.Sprintf("shards-%d", k), func(b *testing.B) {
+			root := b.TempDir()
+			spec := &dist.Spec{
+				Plan: &plan, Runs: runs, MasterSeed: 2022,
+				Shards: k, Mode: core.ModeDistribution,
+			}
+			var merged *core.CampaignResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fanout.Run(context.Background(), fanout.Config{
+					Spec: spec, Dir: filepath.Join(root, fmt.Sprintf("iter-%d", i)),
+					Poll: 10 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				merged = res.Merged
 			}
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(runs)*float64(b.N)/secs, "runs_per_sec")

@@ -7,19 +7,31 @@
 //	certify golden   [-seed N] [-duration 60s]
 //	certify inject   [-plan E3-fig3 | -planfile f] [-seed N] [-verbose]
 //	certify campaign [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
-//	                 [-csv] [-ci] [-out dir|runs.jsonl]
+//	                 [-csv] [-ci] [-out dir|runs.jsonl|runs.jsonl.gz]
 //	                 [-shards K -shard-index I -out shard-I.jsonl]
-//	certify merge    [-csv] [-ci] shard-*.jsonl
+//	certify fanout   [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
+//	                 [-shards K] [-parallel P] [-retries R] [-dir DIR]
+//	                 [-gzip] [-stall 2m] [-csv] [-ci]
+//	certify merge    [-csv] [-ci] shard-*.jsonl[.gz]
 //	certify report   [-runs 30] [-seed N]
 //	certify plans
 //
 // A campaign fans out across processes with -shards/-shard-index: each
 // process executes one contiguous window of the run-index space,
 // derives its seeds from the shared master-seed chain, and streams one
-// JSONL evidence record per run to its -out file. "certify merge"
-// verifies the shard manifests and folds the files back into the exact
-// single-process campaign aggregate. Completed shard files are skipped
-// on rerun, so an interrupted fan-out resumes where it stopped.
+// JSONL evidence record per run to its -out file (gzip-compressed when
+// the path ends in .gz). "certify merge" verifies the shard manifests
+// and folds the files back into the exact single-process campaign
+// aggregate. Completed shard files are skipped on rerun, so an
+// interrupted fan-out resumes where it stopped.
+//
+// "certify fanout" is the one-command form: it supervises all K shard
+// worker processes itself (re-execing this binary in a hidden
+// fanout-worker mode), restarts crashed or stalled workers within
+// -retries, shows live per-shard progress, writes a machine-readable
+// fanout.json next to the shard artefacts, and auto-merges on
+// completion — the same bit-identical aggregate, without hand-launching
+// K processes and a merge.
 package main
 
 import (
@@ -27,12 +39,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/core"
 	"github.com/dessertlab/certify/internal/dist"
+	"github.com/dessertlab/certify/internal/fanout"
 	"github.com/dessertlab/certify/internal/sim"
 )
 
@@ -67,6 +81,10 @@ func run(args []string) error {
 		return cmdInject(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
+	case "fanout":
+		return cmdFanout(args[1:])
+	case "fanout-worker":
+		return cmdFanoutWorker(args[1:])
 	case "merge":
 		return cmdMerge(args[1:])
 	case "report":
@@ -88,6 +106,8 @@ subcommands:
   golden     profile a fault-free run (injection-point activation counts)
   inject     execute one fault-injection run and print its verdict
   campaign   run a full campaign (or one shard of it) and print the outcome distribution
+  fanout     supervise a sharded campaign end to end: spawn K shard workers,
+             restart crashed/stalled ones, auto-merge, write fanout.json
   merge      verify and fold shard JSONL artefacts into one campaign result
   report     run the standard campaigns and emit the SEooC dossier
   plans      list the built-in test plans`)
@@ -181,6 +201,16 @@ func totalCalls(res *core.RunResult) uint64 {
 	return n
 }
 
+// parseModeFlag maps the shared -mode flag value to a campaign mode,
+// with a flag-shaped error.
+func parseModeFlag(s string) (core.CampaignMode, error) {
+	mode, err := core.ParseCampaignMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown -mode %q (want full or distribution)", s)
+	}
+	return mode, nil
+}
+
 // campaignFlags is the parsed + validated campaign flag set.
 type campaignFlags struct {
 	plan       *core.TestPlan
@@ -201,7 +231,7 @@ func validateCampaignFlags(f *campaignFlags, out string, shardIndexSet bool) err
 	if f.runs <= 0 {
 		return fmt.Errorf("-runs must be positive, got %d", f.runs)
 	}
-	if strings.HasSuffix(out, ".jsonl") {
+	if strings.HasSuffix(out, ".jsonl") || strings.HasSuffix(out, ".jsonl.gz") {
 		f.outJSONL = out
 	} else {
 		f.outDir = out
@@ -255,13 +285,8 @@ func cmdCampaign(args []string) error {
 		plan: plan, runs: *runs, seed: *seed, csv: *csv, ci: *ci,
 		shards: *shards, shardIndex: *shardIndex,
 	}
-	switch *mode {
-	case "full":
-		cf.mode = core.ModeFull
-	case "distribution", "dist":
-		cf.mode = core.ModeDistribution
-	default:
-		return fmt.Errorf("unknown -mode %q (want full or distribution)", *mode)
+	if cf.mode, err = parseModeFlag(*mode); err != nil {
+		return err
 	}
 	shardIndexSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -367,6 +392,228 @@ func cmdMerge(args []string) error {
 	cf := &campaignFlags{csv: *csv, ci: *ci}
 	cf.plan = &core.TestPlan{Name: first.Plan}
 	printDistribution(cf, res)
+	return nil
+}
+
+// fanoutFlags is the parsed + validated fanout flag set.
+type fanoutFlags struct {
+	plan     *core.TestPlan
+	runs     int
+	seed     uint64
+	shards   int
+	parallel int
+	retries  int
+	dir      string
+	mode     core.CampaignMode
+	gzip     bool
+	stall    time.Duration
+	inproc   bool
+	quiet    bool
+	csv, ci  bool
+}
+
+// validateFanoutFlags rejects unrunnable configurations with errors
+// that name the fix, before any worker launches.
+func validateFanoutFlags(f *fanoutFlags) error {
+	if f.runs <= 0 {
+		return fmt.Errorf("-runs must be positive, got %d", f.runs)
+	}
+	if f.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", f.shards)
+	}
+	if f.shards > f.runs {
+		return fmt.Errorf("-shards %d exceeds -runs %d: at most one shard per run", f.shards, f.runs)
+	}
+	if f.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = min(shards, GOMAXPROCS)), got %d", f.parallel)
+	}
+	if f.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", f.retries)
+	}
+	if f.stall < 0 {
+		return fmt.Errorf("-stall must be >= 0 (0 disables the watchdog), got %v", f.stall)
+	}
+	if f.dir == "" {
+		return fmt.Errorf("fanout needs a campaign directory; the default should have filled it")
+	}
+	return nil
+}
+
+// cmdFanout is the one-command distributed campaign: supervise K shard
+// workers, restart failures, merge, report.
+func cmdFanout(args []string) error {
+	fs := flag.NewFlagSet("fanout", flag.ContinueOnError)
+	planName := fs.String("plan", "E3-fig3", "test plan name")
+	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	runs := fs.Int("runs", 100, "number of runs (total across all shards)")
+	seed := fs.Uint64("seed", 2022, "master seed")
+	shards := fs.Int("shards", 4, "shard worker count K")
+	parallel := fs.Int("parallel", 0, "concurrently running workers (0 = min(shards, GOMAXPROCS))")
+	retries := fs.Int("retries", 2, "per-shard restart budget for crashed or stalled workers")
+	dir := fs.String("dir", "", "campaign directory for artefacts, spec.json and fanout.json (default fanout-<plan>-<seed>)")
+	mode := fs.String("mode", "distribution", "evidence retention inside each worker: full or distribution")
+	gz := fs.Bool("gzip", false, "compress shard artefacts (shard-NN.jsonl.gz)")
+	stall := fs.Duration("stall", 2*time.Minute, "kill a worker whose artefact stops growing for this long (0 disables)")
+	inproc := fs.Bool("inproc", false, "run shard workers as goroutines instead of re-exec'd processes")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
+	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := resolvePlan(*planName, *planFile)
+	if err != nil {
+		return err
+	}
+	ff := &fanoutFlags{
+		plan: plan, runs: *runs, seed: *seed, shards: *shards,
+		parallel: *parallel, retries: *retries, dir: *dir,
+		gzip: *gz, stall: *stall, inproc: *inproc, quiet: *quiet,
+		csv: *csv, ci: *ci,
+	}
+	if ff.mode, err = parseModeFlag(*mode); err != nil {
+		return err
+	}
+	if ff.dir == "" {
+		ff.dir = fmt.Sprintf("fanout-%s-%d", plan.Name, *seed)
+	}
+	if err := validateFanoutFlags(ff); err != nil {
+		return err
+	}
+	return runFanout(ff)
+}
+
+// runFanout executes a validated fan-out and reports the merged result.
+func runFanout(ff *fanoutFlags) error {
+	spec := &dist.Spec{
+		Plan: ff.plan, Runs: ff.runs, MasterSeed: ff.seed,
+		Shards: ff.shards, Mode: ff.mode,
+	}
+	var launcher fanout.Launcher = fanout.InProcess{}
+	if !ff.inproc {
+		launcher = &fanout.Exec{
+			Args:   []string{"fanout-worker"},
+			Stderr: os.Stderr,
+			// Lets a test binary acting as the supervisor route its
+			// re-exec'd children into worker mode; the real certify
+			// binary ignores it.
+			Env: []string{"CERTIFY_FANOUT_WORKER=1"},
+		}
+	}
+	cfg := fanout.Config{
+		Spec: spec, Dir: ff.dir, Parallel: ff.parallel,
+		Retries: ff.retries, Launcher: launcher,
+		Gzip: ff.gzip, StallTimeout: ff.stall,
+	}
+	if !ff.quiet {
+		cfg.OnProgress = newProgressPrinter()
+	}
+
+	fmt.Println("plan:", ff.plan)
+	fmt.Printf("fanout: %d runs over %d shards (parallel %s, retries %d) → %s\n",
+		ff.runs, ff.shards, orAuto(ff.parallel), ff.retries, ff.dir)
+	res, err := fanout.Run(context.Background(), cfg)
+	if !ff.quiet {
+		fmt.Fprintln(os.Stderr) // finish the progress line
+	}
+	if err != nil {
+		if res != nil && res.ManifestPath != "" {
+			fmt.Fprintf(os.Stderr, "certify: worker history in %s\n", res.ManifestPath)
+		}
+		return err
+	}
+
+	skipped := 0
+	for _, w := range res.Manifest.Workers {
+		if w.State == fanout.StateSkipped {
+			skipped++
+		}
+	}
+	fmt.Printf("merged %d shards (%d resumed), %d runs, plan hash %s, master seed %s\n",
+		len(res.Shards), skipped, res.Merged.Total(), res.Manifest.PlanHash, res.Manifest.MasterSeed)
+	fmt.Printf("worker manifest: %s\n", res.ManifestPath)
+	cf := &campaignFlags{plan: ff.plan, csv: ff.csv, ci: ff.ci}
+	printDistribution(cf, res.Merged)
+	return nil
+}
+
+// orAuto renders a 0-valued bound as "auto" in status lines.
+func orAuto(n int) string {
+	if n <= 0 {
+		return fmt.Sprintf("auto/%d", runtime.GOMAXPROCS(0))
+	}
+	return fmt.Sprint(n)
+}
+
+// newProgressPrinter returns the live status-line renderer (stderr):
+//
+//	[fanout] 23/40 runs | s0 done 13/13 | s1 run 7/13 (try 2) | s2 run 3/14
+//
+// The closure remembers the previous line's width and pads the rewrite,
+// so a shrinking line leaves no stale characters behind.
+func newProgressPrinter() func(fanout.Snapshot) {
+	prev := 0
+	return func(s fanout.Snapshot) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "[fanout] %d/%d runs", s.RunsDone, s.RunsTotal)
+		for _, sh := range s.Shards {
+			state := "wait"
+			switch sh.State {
+			case fanout.StateRunning:
+				state = "run"
+			case fanout.StateCompleted:
+				state = "done"
+			case fanout.StateSkipped:
+				state = "skip"
+			case fanout.StateFailed:
+				state = "FAIL"
+			case fanout.StateAborted:
+				state = "abort"
+			}
+			fmt.Fprintf(&b, " | s%d %s %d/%d", sh.Index, state, sh.Runs, sh.Window)
+			if sh.Attempt > 1 {
+				fmt.Fprintf(&b, " (try %d)", sh.Attempt)
+			}
+		}
+		line := b.String()
+		pad := ""
+		if n := prev - len(line); n > 0 {
+			pad = strings.Repeat(" ", n)
+		}
+		prev = len(line)
+		fmt.Fprint(os.Stderr, "\r"+line+pad)
+	}
+}
+
+// cmdFanoutWorker is the hidden worker mode the fanout supervisor
+// re-execs: load the published spec, execute one shard, exit. Its exit
+// status is advisory — the supervisor judges the attempt by the
+// artefact the worker leaves behind.
+func cmdFanoutWorker(args []string) error {
+	fs := flag.NewFlagSet("fanout-worker", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "spec.json published by the supervisor")
+	index := fs.Int("index", -1, "shard index to execute")
+	out := fs.String("out", "", "shard artefact path")
+	workers := fs.Int("workers", 0, "campaign parallelism inside this worker (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *out == "" || *index < 0 {
+		return fmt.Errorf("fanout-worker is launched by 'certify fanout' and needs -spec, -index and -out")
+	}
+	spec, err := dist.ReadSpecFile(*specPath)
+	if err != nil {
+		return err
+	}
+	res, skipped, err := dist.ExecuteShard(context.Background(), spec, *index, *workers, *out)
+	if err != nil {
+		return err
+	}
+	if skipped {
+		fmt.Printf("shard %d already complete in %s\n", *index, *out)
+		return nil
+	}
+	fmt.Printf("shard %d: %d runs → %s\n", *index, res.Total(), *out)
 	return nil
 }
 

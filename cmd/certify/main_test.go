@@ -8,6 +8,21 @@ import (
 	"testing"
 )
 
+// TestMain lets this test binary impersonate the certify CLI: when the
+// fanout supervisor under test re-execs os.Executable(), the child is
+// this binary again — the env marker routes it into the real CLI entry
+// point instead of the test runner.
+func TestMain(m *testing.M) {
+	if os.Getenv("CERTIFY_FANOUT_WORKER") == "1" && len(os.Args) > 1 && os.Args[1] == "fanout-worker" {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "certify:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
 func TestRunRequiresSubcommand(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("missing subcommand accepted")
@@ -179,6 +194,125 @@ func TestCmdCampaignJSONLUnsharded(t *testing.T) {
 	}
 	if err := cmdMerge([]string{out}); err != nil {
 		t.Fatalf("single-file merge: %v", err)
+	}
+}
+
+// TestFanoutFlagValidation pins the fanout flag contract: unrunnable
+// combinations are rejected before any worker launches, with errors
+// naming the fix.
+func TestFanoutFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"zero shards", []string{"-runs", "8", "-shards", "0"}, "-shards"},
+		{"shards over runs", []string{"-runs", "4", "-shards", "8"}, "at most one shard per run"},
+		{"negative retries", []string{"-runs", "8", "-retries", "-1"}, "-retries"},
+		{"negative parallel", []string{"-runs", "8", "-parallel", "-2"}, "-parallel"},
+		{"negative stall", []string{"-runs", "8", "-stall", "-5s"}, "-stall"},
+		{"unknown mode", []string{"-runs", "8", "-mode", "turbo"}, "unknown -mode"},
+		{"unknown plan", []string{"-plan", "nope"}, "unknown plan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cmdFanout(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCmdFanoutInProcess drives the full one-command flow with
+// in-process workers: supervise, merge, manifest, resume.
+func TestCmdFanoutInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	planfile := shortPlanFile(t)
+	dir := filepath.Join(t.TempDir(), "campaign")
+	args := []string{
+		"-planfile", planfile, "-runs", "9", "-seed", "2022",
+		"-shards", "3", "-dir", dir, "-inproc", "-quiet", "-csv",
+	}
+	if err := cmdFanout(args); err != nil {
+		t.Fatalf("fanout: %v", err)
+	}
+	for _, name := range []string{"spec.json", "fanout.json", "shard-00.jsonl", "shard-01.jsonl", "shard-02.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s after fanout: %v", name, err)
+		}
+	}
+	// Second invocation resumes: every shard is already complete.
+	if err := cmdFanout(args); err != nil {
+		t.Fatalf("fanout resume: %v", err)
+	}
+	// The shard artefacts remain plain merge inputs.
+	if err := cmdMerge([]string{
+		"-csv",
+		filepath.Join(dir, "shard-00.jsonl"),
+		filepath.Join(dir, "shard-01.jsonl"),
+		filepath.Join(dir, "shard-02.jsonl"),
+	}); err != nil {
+		t.Fatalf("manual merge of fanout artefacts: %v", err)
+	}
+}
+
+// TestCmdFanoutExecWorkers exercises the production path: the
+// supervisor re-execs this very binary as real shard worker processes
+// (TestMain routes the children into the CLI).
+func TestCmdFanoutExecWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	planfile := shortPlanFile(t)
+	dir := filepath.Join(t.TempDir(), "campaign")
+	if err := cmdFanout([]string{
+		"-planfile", planfile, "-runs", "6", "-seed", "7",
+		"-shards", "2", "-dir", dir, "-gzip", "-quiet", "-csv",
+	}); err != nil {
+		t.Fatalf("fanout with exec workers: %v", err)
+	}
+	m, err := os.ReadFile(filepath.Join(dir, "fanout.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(m), `"completed": true`) {
+		t.Fatalf("fanout.json not marked completed:\n%s", m)
+	}
+	if !strings.Contains(string(m), `"worker": "pid `) {
+		t.Fatalf("fanout.json records no process workers:\n%s", m)
+	}
+}
+
+// TestCmdCampaignGzipJSONL: -out runs.jsonl.gz streams a compressed
+// artefact that merge reads transparently.
+func TestCmdCampaignGzipJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	planfile := shortPlanFile(t)
+	out := filepath.Join(t.TempDir(), "runs.jsonl.gz")
+	if err := cmdCampaign([]string{
+		"-planfile", planfile, "-runs", "4", "-mode", "distribution",
+		"-out", out, "-csv",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatal("-out .jsonl.gz did not produce a gzip file")
+	}
+	if err := cmdMerge([]string{"-csv", out}); err != nil {
+		t.Fatalf("merge of gzip artefact: %v", err)
 	}
 }
 

@@ -32,6 +32,18 @@ func (m CampaignMode) String() string {
 	return "full"
 }
 
+// ParseCampaignMode maps a mode name (CLI flag value, serialized spec)
+// back to the mode. "dist" is accepted as CLI shorthand.
+func ParseCampaignMode(s string) (CampaignMode, error) {
+	switch s {
+	case "full":
+		return ModeFull, nil
+	case "distribution", "dist":
+		return ModeDistribution, nil
+	}
+	return 0, fmt.Errorf("core: unknown campaign mode %q (want full or distribution)", s)
+}
+
 // CampaignResult aggregates a batch of runs of one plan. The zero value
 // is a valid empty result; workers fold runs into private results and the
 // campaign merges them with MergeFrom.

@@ -91,6 +91,12 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 	if err != nil {
 		return nil, fmt.Errorf("build machine: %w", err)
 	}
+	if ro.CaptureTraceHash {
+		// Fold the digest on append: end-of-run hashing then reads a
+		// finished state instead of rendering the whole trace. Records the
+		// machine build already emitted are caught up here.
+		m.Board.Trace().SetIncrementalHash(true)
+	}
 
 	// Derive the injector's random stream from the run seed so the
 	// workload's own draws do not perturb injection choices.

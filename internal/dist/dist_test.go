@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -245,6 +246,38 @@ func TestExecuteShardResume(t *testing.T) {
 	other := &Spec{Plan: shortE3(), Runs: 6, MasterSeed: 8, Shards: 2, Mode: core.ModeDistribution}
 	if _, _, err := ExecuteShard(context.Background(), other, 0, 0, path); err == nil {
 		t.Fatal("overwrote an artefact of a different campaign")
+	}
+}
+
+// TestTornPlainManifestIsRerun: a plain artefact cut off inside its
+// very first line (no newline anywhere) cannot be anyone's finished
+// evidence — it must classify as ErrTorn and be rerun, exactly like a
+// torn gzip header. A newline-terminated garbage file, by contrast,
+// stays a hard refusal.
+func TestTornPlainManifestIsRerun(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 4, MasterSeed: 21, Shards: 2, Mode: core.ModeDistribution}
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl")
+	if err := os.WriteFile(path, []byte(`{"type":"manif`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShard(path); !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn manifest prefix error = %v, want ErrTorn", err)
+	}
+	if res, skipped, err := ExecuteShard(context.Background(), spec, 0, 0, path); err != nil || skipped {
+		t.Fatalf("rerun over torn manifest remnant: skipped=%v err=%v", skipped, err)
+	} else if res.Total() != 2 {
+		t.Fatalf("rerun total %d, want 2", res.Total())
+	}
+
+	other := filepath.Join(filepath.Dir(path), "garbage.jsonl")
+	if err := os.WriteFile(other, []byte("not an artefact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShard(other); err == nil || errors.Is(err, ErrTorn) {
+		t.Fatalf("newline-terminated garbage error = %v, want hard refusal", err)
+	}
+	if _, _, err := ExecuteShard(context.Background(), spec, 0, 0, other); err == nil {
+		t.Fatal("overwrote a newline-terminated foreign file")
 	}
 }
 

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -27,17 +28,26 @@ func ExecuteShard(ctx context.Context, spec *Spec, index, workers int, outPath s
 
 	if st, statErr := os.Stat(outPath); statErr == nil && st.Size() > 0 {
 		prev, readErr := ReadShard(outPath)
-		if readErr != nil {
+		switch {
+		case errors.Is(readErr, ErrTorn):
+			// Cut off before it could name a campaign: a crash remnant
+			// (e.g. a gzip artefact killed mid-header), never a finished
+			// artefact. Rerun over it.
+			prev = nil
+		case readErr != nil:
 			return nil, false, fmt.Errorf("dist: %s exists but is unreadable (%w) — delete it to rerun the shard", outPath, readErr)
 		}
-		if !prev.Manifest.matches(want) {
-			return nil, false, fmt.Errorf("dist: %s holds a different shard (%s) — refusing to overwrite",
-				outPath, prev.Manifest.diff(want))
+		if prev != nil {
+			if !prev.Manifest.matches(want) {
+				return nil, false, fmt.Errorf("dist: %s holds a different shard (%s) — refusing to overwrite",
+					outPath, prev.Manifest.diff(want))
+			}
+			if prev.Complete {
+				return prev.Result, true, nil
+			}
 		}
-		if prev.Complete {
-			return prev.Result, true, nil
-		}
-		// Same shard, crashed before its summary: fall through and rerun.
+		// Same shard, crashed before its summary (or a torn remnant):
+		// fall through and rerun.
 	}
 
 	w, err := CreateJSONL(outPath)

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// TestGzipShardRoundTrip: a .jsonl.gz shard executes, parses and merges
+// exactly like its plain twin — same aggregate, same per-run hashes —
+// while actually being gzip on disk.
+func TestGzipShardRoundTrip(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 6, MasterSeed: 11, Shards: 2, Mode: core.ModeDistribution}
+	dir := t.TempDir()
+
+	plainPaths := make([]string, spec.Shards)
+	gzPaths := make([]string, spec.Shards)
+	for i := 0; i < spec.Shards; i++ {
+		plainPaths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		gzPaths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl.gz", i))
+		for _, p := range []string{plainPaths[i], gzPaths[i]} {
+			if _, skipped, err := ExecuteShard(context.Background(), spec, i, 0, p); err != nil || skipped {
+				t.Fatalf("%s: skipped=%v err=%v", p, skipped, err)
+			}
+		}
+		// The compressed file must really be gzip.
+		f, err := os.Open(gzPaths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gzip.NewReader(f); err != nil {
+			t.Fatalf("%s is not gzip: %v", gzPaths[i], err)
+		}
+		f.Close()
+	}
+
+	plain, plainShards, err := Merge(plainPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, gzShards, err := Merge(gzPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Total() != packed.Total() || plain.InjectionsTotal() != packed.InjectionsTotal() {
+		t.Fatalf("gzip merge diverged: %d/%d vs %d/%d",
+			packed.Total(), packed.InjectionsTotal(), plain.Total(), plain.InjectionsTotal())
+	}
+	for _, o := range core.AllOutcomes() {
+		if plain.Count(o) != packed.Count(o) {
+			t.Fatalf("count(%v): %d gzip, %d plain", o, packed.Count(o), plain.Count(o))
+		}
+	}
+	for i := range plainShards {
+		for idx, h := range plainShards[i].TraceHashes {
+			if gzShards[i].TraceHashes[idx] != h {
+				t.Fatalf("run %d: trace hash %#x gzip, %#x plain", idx, gzShards[i].TraceHashes[idx], h)
+			}
+		}
+	}
+}
+
+// TestGzipResumeSkipsCompleted: resume semantics carry over unchanged.
+func TestGzipResumeSkipsCompleted(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 4, MasterSeed: 9, Shards: 2, Mode: core.ModeDistribution}
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl.gz")
+	first, skipped, err := ExecuteShard(context.Background(), spec, 0, 0, path)
+	if err != nil || skipped {
+		t.Fatalf("first: skipped=%v err=%v", skipped, err)
+	}
+	again, skipped, err := ExecuteShard(context.Background(), spec, 0, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skipped || again.Total() != first.Total() {
+		t.Fatalf("gzip resume: skipped=%v total=%d want %d", skipped, again.Total(), first.Total())
+	}
+}
+
+// TestGzipTornRemnantIsRerun: what a SIGKILLed worker leaves behind —
+// a gzip stream cut at an arbitrary byte — must parse as an incomplete
+// shard (records before the cut intact) and be rerun, not refused.
+func TestGzipTornRemnantIsRerun(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 4, MasterSeed: 13, Shards: 2, Mode: core.ModeDistribution}
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl.gz")
+	if _, _, err := ExecuteShard(context.Background(), spec, 0, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut off the last 40% of the compressed bytes: summary (and likely
+	// the trailing records) gone.
+	if err := os.WriteFile(path, data[:len(data)*6/10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ReadShard(path)
+	if err != nil {
+		t.Fatalf("torn gzip shard unreadable: %v", err)
+	}
+	if sf.Complete {
+		t.Fatal("torn gzip shard parsed as complete")
+	}
+	redone, skipped, err := ExecuteShard(context.Background(), spec, 0, 0, path)
+	if err != nil || skipped {
+		t.Fatalf("rerun over torn gzip: skipped=%v err=%v", skipped, err)
+	}
+	if redone.Total() != 2 { // shard 0 of 4 runs / 2 shards
+		t.Fatalf("rerun total %d, want 2", redone.Total())
+	}
+
+	// Cut inside the gzip header: nothing identifiable survives; the
+	// remnant is ErrTorn and ExecuteShard overwrites it.
+	if err := os.WriteFile(path, data[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := ReadShard(path); !errors.Is(rerr, ErrTorn) {
+		t.Fatalf("header remnant error = %v, want ErrTorn", rerr)
+	}
+	if _, skipped, err := ExecuteShard(context.Background(), spec, 0, 0, path); err != nil || skipped {
+		t.Fatalf("rerun over header remnant: skipped=%v err=%v", skipped, err)
+	}
+}

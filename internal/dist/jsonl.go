@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,7 +18,10 @@ import (
 // the record shapes below.
 const SchemaVersion = 1
 
-// Line discriminators (the "type" field every record leads with).
+// Line discriminators (the "type" field every record leads with). Type
+// must stay the FIRST field of every record struct: the fan-out
+// supervisor's Tail classifies live artefact lines by their
+// `{"type":"..."` prefix without decoding JSON.
 const (
 	recordManifest = "manifest"
 	recordRun      = "run"
@@ -122,8 +126,9 @@ type Summary struct {
 type JSONLWriter struct {
 	mu   sync.Mutex
 	w    *bufio.Writer
-	file *os.File // nil when wrapping a caller-owned io.Writer
-	err  error    // first write error; OnRun cannot return one
+	gz   *gzip.Writer // non-nil for .gz artefacts; closed before file
+	file *os.File     // nil when wrapping a caller-owned io.Writer
+	err  error        // first write error; OnRun cannot return one
 	runs int
 }
 
@@ -133,11 +138,23 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	return &JSONLWriter{w: bufio.NewWriter(w)}
 }
 
-// CreateJSONL creates (or truncates) the artefact file at path.
+// IsGzipPath reports whether path names a gzip-compressed artefact —
+// the ".gz" suffix is the write-side contract (readers additionally
+// sniff the magic bytes, so a renamed file still parses).
+func IsGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// CreateJSONL creates (or truncates) the artefact file at path. A ".gz"
+// suffix selects transparent gzip compression: archive-scale campaigns
+// keep per-run evidence at a fraction of the plain-text footprint, and
+// ReadShard/Merge decompress on the fly.
 func CreateJSONL(path string) (*JSONLWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
+	}
+	if IsGzipPath(path) {
+		gz := gzip.NewWriter(f)
+		return &JSONLWriter{w: bufio.NewWriter(gz), gz: gz, file: f}, nil
 	}
 	return &JSONLWriter{w: bufio.NewWriter(f), file: f}, nil
 }
@@ -157,11 +174,34 @@ func (jw *JSONLWriter) writeLine(v any) error {
 	return err
 }
 
+// flushLocked pushes buffered bytes through to the file so the line
+// just written is visible to a tailing supervisor and survives a kill.
+// For gzip artefacts this emits a flate sync point per flush — a few
+// bytes of overhead per record buys per-run liveness and torn-file
+// recovery down to the last classified run. Callers hold mu.
+func (jw *JSONLWriter) flushLocked() {
+	if err := jw.w.Flush(); err != nil {
+		if jw.err == nil {
+			jw.err = err
+		}
+		return
+	}
+	if jw.gz != nil {
+		if err := jw.gz.Flush(); err != nil && jw.err == nil {
+			jw.err = err
+		}
+	}
+}
+
 // WriteManifest emits the header line. Call it exactly once, first.
 func (jw *JSONLWriter) WriteManifest(m Manifest) error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
-	return jw.writeLine(m)
+	if err := jw.writeLine(m); err != nil {
+		return err
+	}
+	jw.flushLocked()
+	return jw.err
 }
 
 // OnRun is the campaign streaming hook: it renders r as a RunRecord and
@@ -186,6 +226,7 @@ func (jw *JSONLWriter) OnRun(index int, r *core.RunResult) {
 	defer jw.mu.Unlock()
 	if jw.writeLine(rec) == nil {
 		jw.runs++
+		jw.flushLocked()
 	}
 }
 
@@ -222,12 +263,20 @@ func (jw *JSONLWriter) Err() error {
 }
 
 // Close flushes and (for CreateJSONL writers) closes the file,
-// returning the first error seen anywhere in the stream.
+// returning the first error seen anywhere in the stream. The gzip
+// layer, when present, is finalised between the buffer flush and the
+// file close — only then does the artefact carry a valid trailer.
 func (jw *JSONLWriter) Close() error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	if err := jw.w.Flush(); err != nil && jw.err == nil {
 		jw.err = err
+	}
+	if jw.gz != nil {
+		if err := jw.gz.Close(); err != nil && jw.err == nil {
+			jw.err = err
+		}
+		jw.gz = nil
 	}
 	if jw.file != nil {
 		if err := jw.file.Close(); err != nil && jw.err == nil {

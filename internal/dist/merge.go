@@ -2,8 +2,12 @@ package dist
 
 import (
 	"bufio"
+	"compress/flate"
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -15,6 +19,47 @@ import (
 // maxLineBytes bounds one JSONL line. Full-mode records embed whole
 // serial transcripts, which reach megabytes on minute-long runs.
 const maxLineBytes = 64 << 20
+
+// ErrTorn marks an artefact cut off before it could identify itself — a
+// crash remnant, not a foreign campaign's file. Every complete artefact
+// starts with an intact manifest line, so a file whose compressed
+// stream or first line is truncated cannot be anyone's finished
+// evidence; ExecuteShard overwrites such remnants instead of refusing.
+var ErrTorn = errors.New("dist: artefact truncated before its manifest")
+
+// openShardReader opens path and returns a line reader, decompressing
+// transparently when the content (magic bytes, not just the suffix) is
+// gzip. The returned bool reports whether the stream is compressed —
+// readers use it to classify decode errors as torn crash remnants.
+func openShardReader(f *os.File, path string) (io.Reader, bool, error) {
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Shorter than the gzip magic: nothing identifiable in there.
+		if IsGzipPath(path) {
+			return nil, false, fmt.Errorf("dist: %s: %w", path, ErrTorn)
+		}
+		return br, false, nil
+	}
+	if magic[0] != 0x1f || magic[1] != 0x8b {
+		return br, false, nil
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: %s: bad gzip header (%v): %w", path, err, ErrTorn)
+	}
+	return zr, true, nil
+}
+
+// tornGzip reports whether a read error on a compressed stream is the
+// signature of a truncated (killed-writer) file rather than bad media:
+// everything decoded before the cut still counts, exactly like a torn
+// trailing line in a plain artefact.
+func tornGzip(err error) bool {
+	var corrupt flate.CorruptInputError
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+		errors.Is(err, gzip.ErrChecksum) || errors.As(err, &corrupt)
+}
 
 // ShardFile is one parsed shard artefact: its manifest, completion
 // state, and the aggregate rebuilt from its run records.
@@ -64,16 +109,35 @@ func ReadShard(path string) (*ShardFile, error) {
 	}
 	defer f.Close()
 
-	sc := bufio.NewScanner(f)
+	r, compressed, err := openShardReader(f, path)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
+			if compressed && tornGzip(err) {
+				return nil, fmt.Errorf("dist: %s: %v: %w", path, err, ErrTorn)
+			}
 			return nil, fmt.Errorf("dist: %s: %w", path, err)
+		}
+		if compressed {
+			return nil, fmt.Errorf("dist: %s holds no manifest line: %w", path, ErrTorn)
 		}
 		return nil, fmt.Errorf("dist: %s is empty (no manifest line)", path)
 	}
 	var m Manifest
 	if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m.Type != recordManifest {
+		// A plain file whose only content is one unterminated line is a
+		// write cut off mid-manifest — the same crash-remnant shape as a
+		// torn gzip header, so classify it the same way. (Every complete
+		// artefact's lines are newline-terminated; the scanner hands back
+		// a final unterminated token verbatim, so "token == whole file"
+		// detects the missing newline.)
+		if st, serr := f.Stat(); !compressed && serr == nil && int64(len(sc.Bytes())) == st.Size() {
+			return nil, fmt.Errorf("dist: %s cut off inside its first line: %w", path, ErrTorn)
+		}
 		return nil, fmt.Errorf("dist: %s does not start with a manifest line", path)
 	}
 	if m.Schema > SchemaVersion {
@@ -141,7 +205,12 @@ func ReadShard(path string) (*ShardFile, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dist: %s: %w", path, err)
+		if !(compressed && tornGzip(err)) {
+			return nil, fmt.Errorf("dist: %s: %w", path, err)
+		}
+		// A killed writer truncates the gzip stream mid-block; the lines
+		// decoded before the cut are intact evidence and the shard simply
+		// parses as incomplete, same as a torn trailing line in plain text.
 	}
 
 	sf.HasSummary = summary != nil

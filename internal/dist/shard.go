@@ -121,6 +121,15 @@ func (sh Shard) Campaign(workers int, onRun func(int, *core.RunResult)) *core.Ca
 	}
 }
 
+// MatchesShard reports whether the manifest describes exactly this
+// shard of this campaign — the supervisor's completion check.
+func (m Manifest) MatchesShard(sh Shard) bool { return m.matches(sh.Manifest()) }
+
+// SameCampaignAs reports whether the manifest belongs to the same
+// campaign as the shard's spec (any shard index) — the supervisor's
+// foreign-artefact check.
+func (m Manifest) SameCampaignAs(sh Shard) bool { return m.sameCampaign(sh.Manifest()) }
+
 // Manifest returns the self-describing header every artefact file of
 // this shard must carry.
 func (sh Shard) Manifest() Manifest {

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// Spec serialization: the fan-out supervisor hands each re-exec'd shard
+// worker the complete campaign description as one JSON file instead of
+// a trail of CLI flags. The test plan travels inside it in the
+// reviewable plan-file format (core.MarshalPlan), so custom -planfile
+// campaigns fan out exactly like the built-in plans, and the plan hash
+// is carried alongside as a transport-integrity check.
+
+// specJSON is the wire form of a Spec.
+type specJSON struct {
+	Schema     int    `json:"schema"`
+	Plan       string `json:"plan"`      // core plan-file text
+	PlanHash   string `json:"plan_hash"` // hex TestPlan.Hash of the encoded plan
+	Runs       int    `json:"runs"`
+	MasterSeed string `json:"master_seed"` // hex
+	Shards     int    `json:"shards"`
+	Mode       string `json:"mode"`
+}
+
+// EncodeSpec writes the spec as JSON.
+func EncodeSpec(w io.Writer, s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(specJSON{
+		Schema:     SchemaVersion,
+		Plan:       core.MarshalPlan(s.Plan),
+		PlanHash:   fmt.Sprintf("%#x", s.Plan.Hash()),
+		Runs:       s.Runs,
+		MasterSeed: fmt.Sprintf("%#x", s.MasterSeed),
+		Shards:     s.Shards,
+		Mode:       s.Mode.String(),
+	})
+}
+
+// DecodeSpec parses a spec written by EncodeSpec and re-validates it,
+// including the plan-hash integrity check: a spec whose embedded plan
+// does not hash to the recorded fingerprint was corrupted or edited in
+// transit and must not silently run a different campaign.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	var sj specJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("dist: bad spec: %w", err)
+	}
+	if sj.Schema > SchemaVersion {
+		return nil, fmt.Errorf("dist: spec uses schema %d, this build reads up to %d", sj.Schema, SchemaVersion)
+	}
+	plan, err := core.ParsePlan(sj.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec plan: %w", err)
+	}
+	if got := fmt.Sprintf("%#x", plan.Hash()); got != sj.PlanHash {
+		return nil, fmt.Errorf("dist: spec plan hash %s does not match embedded plan (%s) — corrupted spec", sj.PlanHash, got)
+	}
+	seed, err := parseHex(sj.MasterSeed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec master seed %q: %w", sj.MasterSeed, err)
+	}
+	mode, err := core.ParseCampaignMode(sj.Mode)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{Plan: plan, Runs: sj.Runs, MasterSeed: seed, Shards: sj.Shards, Mode: mode}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteSpecFile atomically publishes the spec at path (write to a
+// temporary sibling, then rename): a crashed supervisor never leaves a
+// half-written spec for the next resume to trip over.
+func WriteSpecFile(path string, s *Spec) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := EncodeSpec(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSpecFile loads a spec published by WriteSpecFile.
+func ReadSpecFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSpec(f)
+}
+
+// SameCampaign reports whether two specs describe the identical
+// campaign: same plan (by hash), run count, master seed, shard count
+// and retention mode. The supervisor uses it to refuse pointing a new
+// fan-out at a directory that already belongs to a different campaign.
+func (s *Spec) SameCampaign(o *Spec) bool {
+	return s != nil && o != nil &&
+		s.Plan.Hash() == o.Plan.Hash() &&
+		s.Runs == o.Runs && s.MasterSeed == o.MasterSeed &&
+		s.Shards == o.Shards && s.Mode == o.Mode
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// TestSpecRoundTrip: a spec published for re-exec workers decodes to
+// the identical campaign — same plan hash, seeds, windows and mode.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 40, MasterSeed: 2022, Shards: 3, Mode: core.ModeDistribution}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := WriteSpecFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.SameCampaign(got) {
+		t.Fatalf("round-tripped spec describes a different campaign: %+v vs %+v", got, spec)
+	}
+	if got.Plan.Hash() != spec.Plan.Hash() {
+		t.Fatalf("plan hash %#x after round trip, want %#x", got.Plan.Hash(), spec.Plan.Hash())
+	}
+	// The shard windows a worker derives from the decoded spec must be
+	// the supervisor's windows.
+	for i := 0; i < spec.Shards; i++ {
+		a, _ := spec.Shard(i)
+		b, _ := got.Shard(i)
+		if a.Start != b.Start || a.End != b.End {
+			t.Fatalf("shard %d window [%d,%d) after round trip, want [%d,%d)", i, b.Start, b.End, a.Start, a.End)
+		}
+	}
+}
+
+// TestSpecRejectsTampering: a spec whose embedded plan no longer hashes
+// to the recorded fingerprint must not run.
+func TestSpecRejectsTampering(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 10, MasterSeed: 1, Shards: 2, Mode: core.ModeFull}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := WriteSpecFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "intensity = medium", "intensity = high", 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: plan text not found in spec")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpecFile(path); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("tampered spec accepted: %v", err)
+	}
+}
+
+// TestSpecDecodeRejectsGarbage enumerates the refusal paths.
+func TestSpecDecodeRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"not json":    "certainly not json\n",
+		"bad plan":    `{"schema":1,"plan":"nope = nope","plan_hash":"0x1","runs":4,"master_seed":"0x1","shards":2,"mode":"full"}`,
+		"bad mode":    `{"schema":1,"plan":"","plan_hash":"0x1","runs":4,"master_seed":"0x1","shards":2,"mode":"turbo"}`,
+		"future file": `{"schema":99,"plan":"","plan_hash":"0x1","runs":4,"master_seed":"0x1","shards":2,"mode":"full"}`,
+	} {
+		p := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSpecFile(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

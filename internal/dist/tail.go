@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+// Tail is the supervisor's low-cost per-run progress probe: it follows
+// a shard's JSONL artefact as the worker appends to it, counting run
+// records and spotting the summary footer without parsing JSON — one
+// stat plus a read of the appended bytes per poll. Line classification
+// keys on the leading `{"type":"..."` prefix every writeLine emits
+// (Type is the first field of each record struct), so a poll costs a
+// prefix compare per new line.
+//
+// Gzip artefacts cannot be line-counted from a live prefix; for them
+// the tail degrades to byte-level liveness (Progress.Countable=false):
+// the stall watchdog still sees the file grow, and the exact record
+// count arrives from ReadShard once the worker exits.
+type Tail struct {
+	path    string
+	gz      bool
+	off     int64  // bytes consumed so far
+	partial []byte // carried bytes of an unterminated trailing line
+	runs    int
+	done    bool
+}
+
+// Progress is one poll's view of a shard artefact.
+type Progress struct {
+	// Bytes is the artefact's current size — the liveness signal even
+	// when records cannot be counted.
+	Bytes int64
+	// Runs is the number of complete run records observed (0 when not
+	// countable).
+	Runs int
+	// Complete reports an observed summary footer.
+	Complete bool
+	// Countable is false for compressed artefacts, where only Bytes is
+	// meaningful.
+	Countable bool
+}
+
+// NewTail starts following the artefact at path. The file does not have
+// to exist yet; polls before creation report zero progress.
+func NewTail(path string) *Tail {
+	return &Tail{path: path, gz: IsGzipPath(path)}
+}
+
+// linePrefix* classify artefact lines without JSON decoding.
+var (
+	linePrefixRun     = []byte(`{"type":"run"`)
+	linePrefixSummary = []byte(`{"type":"summary"`)
+)
+
+// Poll reads whatever the worker appended since the last call and
+// returns the updated progress. A shrinking file (the worker truncated
+// and restarted the shard) resets the count and re-reads from the top.
+func (t *Tail) Poll() (Progress, error) {
+	st, err := os.Stat(t.path)
+	if os.IsNotExist(err) {
+		t.reset()
+		return Progress{Countable: !t.gz}, nil
+	}
+	if err != nil {
+		return Progress{}, err
+	}
+	size := st.Size()
+	if t.gz {
+		return Progress{Bytes: size}, nil
+	}
+	if size < t.off {
+		t.reset()
+	}
+	if size > t.off {
+		if err := t.consume(size); err != nil {
+			return Progress{}, err
+		}
+	}
+	return Progress{Bytes: size, Runs: t.runs, Complete: t.done, Countable: true}, nil
+}
+
+func (t *Tail) reset() {
+	t.off = 0
+	t.partial = t.partial[:0]
+	t.runs = 0
+	t.done = false
+}
+
+// consume reads [off, size) and folds complete lines into the counts.
+func (t *Tail) consume(size int64) error {
+	f, err := os.Open(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.reset()
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, size-t.off)
+	n, err := f.ReadAt(buf, t.off)
+	buf = buf[:n]
+	if err != nil && err != io.EOF {
+		return err
+	}
+	t.off += int64(n)
+	data := buf
+	if len(t.partial) > 0 {
+		data = append(t.partial, buf...)
+		t.partial = t.partial[:0]
+	}
+	for {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			t.partial = append(t.partial[:0], data...)
+			return nil
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		switch {
+		case bytes.HasPrefix(line, linePrefixRun):
+			t.runs++
+		case bytes.HasPrefix(line, linePrefixSummary):
+			t.done = true
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTailCountsIncrementally simulates a worker appending to its
+// artefact between polls — partial trailing lines and all.
+func TestTailCountsIncrementally(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl")
+	tail := NewTail(path)
+
+	// Before the worker creates the file: zero progress, no error.
+	p, err := tail.Poll()
+	if err != nil || p.Bytes != 0 || p.Runs != 0 || p.Complete || !p.Countable {
+		t.Fatalf("pre-creation poll = %+v err=%v", p, err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	write := func(s string) {
+		t.Helper()
+		if _, err := f.WriteString(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write(`{"type":"manifest","schema":1}` + "\n")
+	write(`{"type":"run","index":0}` + "\n")
+	// ...and half of a record the worker has not finished writing.
+	write(`{"type":"run","ind`)
+	p, err = tail.Poll()
+	if err != nil || p.Runs != 1 || p.Complete {
+		t.Fatalf("mid-write poll = %+v err=%v", p, err)
+	}
+
+	// The torn line completes, two more land, then the summary.
+	write(`ex":1}` + "\n")
+	write(`{"type":"run","index":2}` + "\n")
+	p, err = tail.Poll()
+	if err != nil || p.Runs != 3 {
+		t.Fatalf("after completion poll = %+v err=%v", p, err)
+	}
+	write(`{"type":"summary","runs":3}` + "\n")
+	p, err = tail.Poll()
+	if err != nil || p.Runs != 3 || !p.Complete {
+		t.Fatalf("final poll = %+v err=%v", p, err)
+	}
+}
+
+// TestTailResetsOnTruncation: a restarted worker truncates the
+// artefact; the tail must notice and recount from the top.
+func TestTailResetsOnTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl")
+	long := `{"type":"manifest","schema":1}` + "\n" +
+		`{"type":"run","index":0}` + "\n" +
+		`{"type":"run","index":1}` + "\n" +
+		`{"type":"run","index":2}` + "\n"
+	if err := os.WriteFile(path, []byte(long), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail := NewTail(path)
+	if p, _ := tail.Poll(); p.Runs != 3 {
+		t.Fatalf("initial runs = %d, want 3", p.Runs)
+	}
+
+	short := `{"type":"manifest","schema":1}` + "\n" + `{"type":"run","index":0}` + "\n"
+	if err := os.WriteFile(path, []byte(short), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tail.Poll(); p.Runs != 1 {
+		t.Fatalf("post-truncation runs = %d, want 1", p.Runs)
+	}
+}
+
+// TestTailGzipLivenessOnly: compressed artefacts report byte growth but
+// no record counts.
+func TestTailGzipLivenessOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl.gz")
+	if err := os.WriteFile(path, []byte{0x1f, 0x8b, 0x08, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail := NewTail(path)
+	p, err := tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Countable || p.Bytes != 4 {
+		t.Fatalf("gzip poll = %+v, want uncountable 4 bytes", p)
+	}
+}

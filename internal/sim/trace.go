@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
@@ -130,10 +129,21 @@ type record struct {
 type Trace struct {
 	recs []record
 	args []Arg
+
+	// Incremental hash state. hstate is the running FNV-1a digest over
+	// records [0, hashed); Hash folds the remainder on demand. When
+	// incremental is set (SetIncrementalHash), every append folds its
+	// record immediately, so end-of-run hashing is O(1) and no rendered
+	// message string is ever allocated for hash-only readers.
+	hstate      uint64
+	hashed      int
+	incremental bool
+	hbuf        []byte // reusable per-record hash line buffer
+	argv        []any  // reusable boxed-operand scratch for fmt.Appendf
 }
 
 // NewTrace returns an empty trace.
-func NewTrace() *Trace { return &Trace{} }
+func NewTrace() *Trace { return &Trace{hstate: fnvOffset64} }
 
 // Reset empties the trace while keeping its buffers for reuse.
 func (t *Trace) Reset() {
@@ -145,6 +155,9 @@ func (t *Trace) Reset() {
 	}
 	t.recs = t.recs[:0]
 	t.args = t.args[:0]
+	t.hstate = fnvOffset64
+	t.hashed = 0
+	t.incremental = false
 }
 
 // Add appends a record whose message needs no formatting.
@@ -152,6 +165,9 @@ func (t *Trace) Add(at Time, kind Kind, cpu int, msg string) {
 	t.recs = append(t.recs, record{
 		at: at, msg: msg, kind: kind, cpu: int16(cpu), rendered: true,
 	})
+	if t.incremental {
+		t.foldTo(len(t.recs))
+	}
 }
 
 // Addf appends a record with deferred formatting: format and args are
@@ -170,6 +186,9 @@ func (t *Trace) Addf(at Time, kind Kind, cpu int, format string, args ...Arg) {
 		at: at, format: format, argPos: pos, argN: uint16(len(args)),
 		kind: kind, cpu: int16(cpu),
 	})
+	if t.incremental {
+		t.foldTo(len(t.recs))
+	}
 }
 
 // render materialises (and caches) the message of record i.
@@ -276,26 +295,81 @@ func (t *Trace) Contains(substr string) bool {
 	return false
 }
 
-// Hash returns a stable FNV-1a digest of the full trace. Two runs with the
-// same seed and configuration must produce identical hashes; the
-// determinism property tests rely on this. The digest is computed over the
-// rendered records and is unchanged from the eager-formatting engine.
-func (t *Trace) Hash() uint64 {
-	h := fnv.New64a()
-	var buf []byte
-	for i := range t.recs {
+// FNV-1a 64-bit parameters (identical to hash/fnv, kept inline so the
+// running digest is a plain uint64 the trace can carry between appends).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// SetIncrementalHash switches the trace to maintaining its digest on
+// append. Enabling folds every record already present (rendering them
+// once), then each Add/Addf folds its own record as it lands, so Hash
+// becomes a constant-time read at end of run — the render pass the
+// streaming-artefact campaigns used to pay per run disappears. Records
+// folded on append are formatted straight into the hash buffer; their
+// deferred format/args stay in place, so later Dump/Scan reads still
+// work. Reset disables incremental mode again.
+func (t *Trace) SetIncrementalHash(on bool) {
+	t.incremental = on
+	if on {
+		t.foldTo(len(t.recs))
+	}
+}
+
+// foldTo folds records [hashed, upTo) into the running digest. The byte
+// stream is identical to the eager full-trace hash: FNV-1a is a
+// sequential fold, so hashing a prefix and continuing later equals
+// hashing the whole stream at once.
+func (t *Trace) foldTo(upTo int) {
+	h := t.hstate
+	for i := t.hashed; i < upTo; i++ {
 		r := &t.recs[i]
-		buf = strconv.AppendInt(buf[:0], int64(r.at), 10)
+		buf := t.hbuf[:0]
+		buf = strconv.AppendInt(buf, int64(r.at), 10)
 		buf = append(buf, '|')
 		buf = strconv.AppendUint(buf, uint64(r.kind), 10)
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(r.cpu), 10)
 		buf = append(buf, '|')
-		buf = append(buf, t.render(i)...)
+		switch {
+		case r.rendered:
+			buf = append(buf, r.msg...)
+		case r.argN == 0:
+			buf = append(buf, r.format...)
+		default:
+			// Format straight into the hash buffer: byte-identical to
+			// render()'s fmt.Sprintf, but no message string is retained.
+			argv := t.argv[:0]
+			for j := 0; j < int(r.argN); j++ {
+				argv = append(argv, t.args[int(r.argPos)+j].value())
+			}
+			buf = fmt.Appendf(buf, r.format, argv...)
+			for j := range argv {
+				argv[j] = nil // drop boxed values, keep capacity
+			}
+			t.argv = argv[:0]
+		}
 		buf = append(buf, '\n')
-		_, _ = h.Write(buf)
+		t.hbuf = buf
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= fnvPrime64
+		}
 	}
-	return h.Sum64()
+	t.hstate = h
+	t.hashed = upTo
+}
+
+// Hash returns a stable FNV-1a digest of the full trace. Two runs with the
+// same seed and configuration must produce identical hashes; the
+// determinism property tests rely on this. The digest is computed over the
+// rendered records and is unchanged from the eager-formatting engine;
+// records already folded (incremental mode or a previous Hash call) are
+// not re-rendered.
+func (t *Trace) Hash() uint64 {
+	t.foldTo(len(t.recs))
+	return t.hstate
 }
 
 // Dump renders the whole trace as a multi-line string, optionally limited

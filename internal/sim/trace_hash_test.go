@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+// populate fills a trace with a representative mix of static, deferred
+// and pre-rendered records.
+func populate(t *Trace) {
+	t.Add(0, KindBoot, -1, "power on")
+	for i := 0; i < 200; i++ {
+		t.Addf(Time(i)*Millisecond, KindIRQ, i%2, "irq %d asserted on cpu%d", Int(int64(32+i%8)), Int(int64(i%2)))
+		t.Addf(Time(i)*Millisecond+1, KindUART, -1, "tx %q", Str("hello"))
+		if i%7 == 0 {
+			t.Add(Time(i)*Millisecond+2, KindNote, 1, "checkpoint")
+		}
+	}
+	t.Addf(Second, KindPanic, 0, "unhandled trap hsr=%#x", Uint(0x96000045))
+}
+
+// TestIncrementalHashMatchesDeferred pins the satellite contract: the
+// digest maintained on append is bit-identical to the one computed by
+// the end-of-run fold over deferred records.
+func TestIncrementalHashMatchesDeferred(t *testing.T) {
+	deferred := NewTrace()
+	populate(deferred)
+	want := deferred.Hash()
+
+	inc := NewTrace()
+	inc.SetIncrementalHash(true)
+	populate(inc)
+	if got := inc.Hash(); got != want {
+		t.Fatalf("incremental hash %#x, deferred hash %#x", got, want)
+	}
+
+	// Enabling mid-stream must catch up on the records appended before
+	// the switch — the runner enables after the machine build's boot
+	// records have already landed.
+	late := NewTrace()
+	late.Add(0, KindBoot, -1, "power on")
+	late.Addf(Millisecond, KindIRQ, 0, "irq %d asserted on cpu%d", Int(32), Int(0))
+	late.SetIncrementalHash(true)
+	late.Addf(Second, KindPanic, 0, "unhandled trap hsr=%#x", Uint(0x96000045))
+
+	ref := NewTrace()
+	ref.Add(0, KindBoot, -1, "power on")
+	ref.Addf(Millisecond, KindIRQ, 0, "irq %d asserted on cpu%d", Int(32), Int(0))
+	ref.Addf(Second, KindPanic, 0, "unhandled trap hsr=%#x", Uint(0x96000045))
+	if late.Hash() != ref.Hash() {
+		t.Fatalf("mid-stream enable diverged: %#x vs %#x", late.Hash(), ref.Hash())
+	}
+}
+
+// TestIncrementalHashLeavesRecordsReadable makes sure hashing on append
+// does not consume the deferred format state: scans after an
+// incremental-hash run still render every message.
+func TestIncrementalHashLeavesRecordsReadable(t *testing.T) {
+	tr := NewTrace()
+	tr.SetIncrementalHash(true)
+	tr.Addf(Second, KindTrap, 1, "data abort at %#x", Uint(0xdeadbeef))
+	if !tr.Contains("data abort at 0xdeadbeef") {
+		t.Fatal("message unreadable after incremental hashing")
+	}
+	// Hash unchanged by the read.
+	h := tr.Hash()
+	if tr.Hash() != h {
+		t.Fatal("hash not idempotent")
+	}
+}
+
+// TestHashStreamsAcrossCalls: hashing a prefix and continuing after more
+// appends equals hashing everything at once — the property the
+// incremental mode is built on.
+func TestHashStreamsAcrossCalls(t *testing.T) {
+	a := NewTrace()
+	a.Add(0, KindBoot, -1, "x")
+	_ = a.Hash() // fold the prefix
+	a.Addf(Second, KindNote, 0, "n=%d", Int(7))
+	b := NewTrace()
+	b.Add(0, KindBoot, -1, "x")
+	b.Addf(Second, KindNote, 0, "n=%d", Int(7))
+	if a.Hash() != b.Hash() {
+		t.Fatalf("streamed hash %#x, one-shot hash %#x", a.Hash(), b.Hash())
+	}
+}
+
+// TestResetClearsIncrementalState: a recycled trace must restart its
+// digest and drop incremental mode (the runner re-enables it per run).
+func TestResetClearsIncrementalState(t *testing.T) {
+	tr := NewTrace()
+	tr.SetIncrementalHash(true)
+	populate(tr)
+	_ = tr.Hash()
+	tr.Reset()
+	fresh := NewTrace()
+	if tr.Hash() != fresh.Hash() {
+		t.Fatalf("reset trace hash %#x, fresh empty trace %#x", tr.Hash(), fresh.Hash())
+	}
+	populate(tr)
+	ref := NewTrace()
+	populate(ref)
+	if tr.Hash() != ref.Hash() {
+		t.Fatalf("post-reset hash %#x, fresh-trace hash %#x", tr.Hash(), ref.Hash())
+	}
+}

@@ -7,6 +7,10 @@
 #   scripts/bench.sh sharded         # the sharded-campaign throughput family
 #                                    # (BenchmarkShardedCampaign: K-shard
 #                                    # fan-out + JSONL artefacts + merge)
+#   scripts/bench.sh fanout          # supervised + sharded throughput side
+#                                    # by side (BenchmarkFanoutCampaign's
+#                                    # runs_per_sec next to the hand-sharded
+#                                    # BenchmarkShardedCampaign baseline)
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
 #   OUT=mybench.json scripts/bench.sh
 #
@@ -18,9 +22,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-.}"
-# Convenience alias: "sharded" selects the distributed-campaign family.
+# Convenience aliases: "sharded" selects the distributed-campaign
+# family; "fanout" puts the supervised path next to it.
 if [ "$PATTERN" = "sharded" ]; then
     PATTERN='ShardedCampaign'
+elif [ "$PATTERN" = "fanout" ]; then
+    PATTERN='FanoutCampaign|ShardedCampaign'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -33,6 +40,10 @@ if [ -n "$UNFORMATTED" ]; then
     echo "$UNFORMATTED" >&2
     exit 1
 fi
+# The supervisor and the artefact layer are the concurrency-heavy
+# packages (worker goroutines, tail polling, shared JSONL writers): run
+# them under the race detector before archiving any measurement.
+go test -race -short ./internal/fanout ./internal/dist
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
 RAW="$(mktemp)"
