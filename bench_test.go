@@ -212,6 +212,58 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmMachineCampaign measures what the warm machine pool buys
+// over the campaign's reuse ladder: "cold" rebuilds the whole stack per
+// run (no scratch, no pool — the pre-reuse configuration), "scratch" is
+// the default per-worker warm machine, "pool" shares one warm pool
+// across workers and across iterations, so from iteration 2 on every
+// machine Get is a deep reset. The differential determinism suite pins
+// all three rows to identical results; runs_per_sec is the only number
+// allowed to move.
+func BenchmarkWarmMachineCampaign(b *testing.B) {
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-warm-throughput"
+	const runs = 400
+
+	bench := func(b *testing.B, campaign func() *core.Campaign) {
+		var last *core.CampaignResult
+		for i := 0; i < b.N; i++ {
+			res, err := campaign().Execute(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(runs)*float64(b.N)/secs, "runs_per_sec")
+		}
+		b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		// No machine reuse at all: every run builds from nothing. This is
+		// the BuildMachine share the pool exists to close.
+		bench(b, func() *core.Campaign {
+			return &core.Campaign{Plan: &plan, Runs: runs, MasterSeed: 2022,
+				Mode: core.ModeDistribution, ColdBuild: true}
+		})
+	})
+	b.Run("scratch", func(b *testing.B) {
+		bench(b, func() *core.Campaign {
+			return &core.Campaign{Plan: &plan, Runs: runs, MasterSeed: 2022,
+				Mode: core.ModeDistribution}
+		})
+	})
+	pool := core.NewMachinePool()
+	b.Run("pool", func(b *testing.B) {
+		bench(b, func() *core.Campaign {
+			return &core.Campaign{Plan: &plan, Runs: runs, MasterSeed: 2022,
+				Mode: core.ModeDistribution, Pool: pool}
+		})
+	})
+}
+
 // BenchmarkShardedCampaign measures the distributed campaign path: the
 // run-index space split into K shards, each executed through
 // dist.ExecuteShard with streaming JSONL evidence, then folded back

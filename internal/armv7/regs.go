@@ -163,17 +163,91 @@ func NewCPU(index int) *CPU {
 	c := &CPU{
 		Index: index,
 		banks: make(map[Mode]*bank),
-		// Cortex-A7 MIDR: implementer 0x41 'A', architecture 0xF,
-		// part number 0xC07.
-		MIDR:   0x410FC075,
-		MPIDR:  0x80000000 | uint32(index), // U=0 multiprocessor, Aff0=index
-		Online: index == 0,                 // secondary cores wait for CPU_ON
 	}
-	c.cpsr = uint32(ModeSVC) | CPSRIRQ | CPSRFIQ | CPSRAbort
 	for _, m := range []Mode{ModeUSR, ModeFIQ, ModeIRQ, ModeSVC, ModeMON, ModeABT, ModeHYP, ModeUND} {
 		c.banks[m] = &bank{}
 	}
+	c.Reset()
 	return c
+}
+
+// Reset restores the core to its power-on state in place — the warm
+// machine-reuse path. Every architectural register, banked copy and the
+// HYP virtualization state return to the values NewCPU establishes; the
+// bank map itself is kept allocated.
+func (c *CPU) Reset() {
+	c.regs = [NumRegs]uint32{}
+	c.cpsr = uint32(ModeSVC) | CPSRIRQ | CPSRFIQ | CPSRAbort
+	for _, b := range c.banks {
+		*b = bank{}
+	}
+	c.fiqBank = [5]uint32{}
+	c.fiqShadow = [5]uint32{}
+	c.inFIQRegs = false
+	c.ELRHyp, c.SPSRHyp, c.HSR, c.HVBAR, c.HCR = 0, 0, 0, 0, 0
+	c.VTTBR = 0
+	c.HDFAR, c.HIFAR, c.HPFAR = 0, 0, 0
+	// Cortex-A7 MIDR: implementer 0x41 'A', architecture 0xF,
+	// part number 0xC07.
+	c.MIDR = 0x410FC075
+	c.MPIDR = 0x80000000 | uint32(c.Index) // U=0 multiprocessor, Aff0=index
+	c.SCTLR, c.VBAR = 0, 0
+	c.Online = c.Index == 0 // secondary cores wait for CPU_ON
+	c.Parked = false
+}
+
+// VisitState feeds every architectural state word of the core to f in a
+// fixed order: current-mode GPRs, CPSR, all banked SP/LR/SPSR copies,
+// the FIQ high-register banks, the HYP virtualization registers, the
+// identification/control registers and the power/park status. It exists
+// for power-on-equivalence digests (core.Machine.StateDigest): a reset
+// that forgets any of this state must be visible to the leak detector.
+func (c *CPU) VisitState(f func(uint32)) {
+	for _, r := range c.regs {
+		f(r)
+	}
+	f(c.cpsr)
+	for _, m := range []Mode{ModeUSR, ModeFIQ, ModeIRQ, ModeSVC, ModeMON, ModeABT, ModeHYP, ModeUND} {
+		b := c.banks[m]
+		f(b.sp)
+		f(b.lr)
+		f(b.spsr)
+	}
+	for _, r := range c.fiqBank {
+		f(r)
+	}
+	for _, r := range c.fiqShadow {
+		f(r)
+	}
+	if c.inFIQRegs {
+		f(1)
+	} else {
+		f(0)
+	}
+	f(c.ELRHyp)
+	f(c.SPSRHyp)
+	f(c.HSR)
+	f(c.HVBAR)
+	f(c.HCR)
+	f(uint32(c.VTTBR))
+	f(uint32(c.VTTBR >> 32))
+	f(c.HDFAR)
+	f(c.HIFAR)
+	f(c.HPFAR)
+	f(c.MIDR)
+	f(c.MPIDR)
+	f(c.SCTLR)
+	f(c.VBAR)
+	if c.Online {
+		f(1)
+	} else {
+		f(0)
+	}
+	if c.Parked {
+		f(1)
+	} else {
+		f(0)
+	}
 }
 
 // Mode returns the current processor mode from CPSR.

@@ -168,6 +168,34 @@ func NewWithOptions(seed uint64, opts Options) *Board {
 	return b
 }
 
+// DeepReset restores the whole board to its power-on state in place: the
+// engine rewinds to time zero with the new seed, the UARTs, GIC, GPIO
+// bank and RAM return to their reset state, every CPU goes back to its
+// out-of-reset register file, and all timer programming is dropped. The
+// MMIO routing is structural (it closes over the device objects, which
+// survive) and needs no rebuild. Nothing is reallocated — this is the
+// warm machine-reuse path, and its observable result must be
+// indistinguishable from NewWithOptions (the differential determinism
+// suite in internal/core holds it to that).
+func (b *Board) DeepReset(seed uint64, opts Options) {
+	b.Engine.Reset(seed)
+	b.UART0.Reset("uart0", b.Engine.Now)
+	b.UART7.Reset("uart7", b.Engine.Now)
+	b.UART0.SetCaptureBytes(!opts.NoByteCapture)
+	b.UART7.SetCaptureBytes(!opts.NoByteCapture)
+	b.RAM.Reset()
+	b.GIC.Reset()
+	b.GPIO.Reset(b.Engine.Now)
+	for _, c := range b.CPUs {
+		c.Reset()
+	}
+	for i := range b.timers {
+		// The engine reset already dropped the events; the cancel
+		// closures are stale and must not survive into the next run.
+		b.timers[i] = Timer{}
+	}
+}
+
 func (b *Board) addMMIO(name string, base, size uint64,
 	read func(int, uint64) (uint32, error),
 	write func(int, uint64, uint32) error) {

@@ -154,9 +154,12 @@ func (c *CampaignResult) MergeFrom(o *CampaignResult) {
 // Campaign runs a plan N times with independent derived seeds, fanning
 // out across workers. Every run is an isolated deterministic machine, so
 // parallelism cannot perturb results; the aggregate is seed-reproducible.
-// Each worker keeps one RunScratch, so consecutive runs recycle the
-// engine's event slab, the trace buffers and the UART capture buffers
-// instead of cold-allocating the whole stack per run.
+// Each worker keeps one warm machine (via its RunScratch): after the
+// first cold build, consecutive runs deep-reset the whole stack — board,
+// hypervisor, both guests — back to power-on state instead of
+// reallocating it. Setting Pool shares warm machines across workers and
+// across campaigns instead. The differential determinism suite pins
+// warm == cold, so neither reuse mode can perturb results.
 type Campaign struct {
 	// Plan to execute.
 	Plan *TestPlan
@@ -184,6 +187,17 @@ type Campaign struct {
 	// order, not index order — the callback must be goroutine-safe and
 	// must not retain r past the call in ModeDistribution.
 	OnRun func(index int, r *RunResult)
+	// Pool, when non-nil, supplies warm machines to all workers from one
+	// shared pool instead of one private warm machine per worker. Pass
+	// the same pool to successive campaigns (or shards executing in the
+	// same process) to keep machines warm across them.
+	Pool *MachinePool
+	// ColdBuild disables machine reuse entirely: every run constructs a
+	// fresh stack. This is the pre-reuse baseline — kept for the warm
+	// bench's comparison row and for bisecting a suspected reuse bug
+	// (results must never differ from the warm paths; the differential
+	// determinism suite enforces exactly that).
+	ColdBuild bool
 }
 
 // Execute runs the campaign. ctx cancellation stops scheduling new runs
@@ -246,8 +260,15 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 			defer wg.Done()
 			ro := RunOptions{
 				Mode:             c.Mode,
-				Scratch:          NewRunScratch(),
 				CaptureTraceHash: c.OnRun != nil,
+			}
+			switch {
+			case c.ColdBuild:
+				// fresh build per run
+			case c.Pool != nil:
+				ro.Pool = c.Pool
+			default:
+				ro.Scratch = NewRunScratch()
 			}
 			for idx := range work {
 				r, err := RunExperimentOpts(c.Plan, seeds[idx], ro)

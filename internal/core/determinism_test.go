@@ -35,6 +35,9 @@ func TestGoldenRunTraceHashUnchangedByEngineRewrite(t *testing.T) {
 // pre-rewrite engine: the throughput overhaul must not move a single run
 // between outcome classes.
 func TestCampaignDistributionGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration campaign")
+	}
 	want := map[Outcome]int{
 		OutcomeCorrect:      23,
 		OutcomeInconsistent: 1,

@@ -28,6 +28,14 @@ type Machine struct {
 
 	// CellID of the FreeRTOS cell.
 	CellID uint32
+
+	// rtosArena recycles FreeRTOS kernels across deep resets (and across
+	// the E1 recreate loop's cycles within one run): each boot draws
+	// kernels from the arena in order, deep-resetting recycled ones, so a
+	// warm machine re-creates its cell workload without reallocating task
+	// control blocks. rtosNext is the next arena slot to hand out.
+	rtosArena []*freertos.Kernel
+	rtosNext  int
 }
 
 // MachineOptions tunes the assembly.
@@ -51,20 +59,26 @@ type MachineOptions struct {
 	// Scratch, when non-nil, recycles the engine (event slab, heap,
 	// trace) and UART buffers of a previous build — the campaign
 	// workers' machine-reuse path. Never share between goroutines.
+	// Ignored by Machine.DeepReset, which reuses the machine's own
+	// buffers wholesale.
 	Scratch *RunScratch
 	// LeanCapture disables the UARTs' raw byte logs; line capture (the
 	// classifier's channel) is unaffected. Set by Distribution mode.
 	LeanCapture bool
 }
 
-// RunScratch carries the reusable buffers one campaign worker threads
-// through consecutive machine builds.
+// RunScratch carries the reusable state one campaign worker threads
+// through consecutive runs: the board's heavy buffers for the first
+// (cold) build, and after that the warm machine itself, which later runs
+// deep-reset instead of rebuilding. Never share between goroutines.
 type RunScratch struct {
-	board board.Scratch
+	board   board.Scratch
+	machine *Machine
 }
 
-// NewRunScratch returns an empty scratch; buffers materialise on first
-// use and are recycled on every following build.
+// NewRunScratch returns an empty scratch; the first run through it
+// builds cold and parks its machine here, every following run deep-resets
+// that machine.
 func NewRunScratch() *RunScratch { return &RunScratch{} }
 
 // DefaultMachineOptions returns the configuration of the paper's main
@@ -84,13 +98,62 @@ func BuildMachine(opts MachineOptions) (*Machine, error) {
 	brd := board.NewWithOptions(opts.Seed, bopts)
 	hv := jailhouse.New(brd)
 	linux := rootlinux.New(hv)
-
-	if err := linux.HypervisorEnable(jailhouse.DefaultSystemConfig()); err != nil {
-		return nil, fmt.Errorf("enable: %w", err)
-	}
-	linux.Boot(0)
-
 	m := &Machine{Board: brd, HV: hv, Linux: linux}
+	if err := m.boot(opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DeepReset restores every layer of the machine — engine, board
+// peripherals, hypervisor, both guests — to its power-on-equivalent
+// state in place and replays the boot flow for the new options. The
+// result must be observably indistinguishable from BuildMachine with the
+// same options: same trace, same transcripts, same classification for
+// any subsequent run. The differential determinism suite
+// (warmpool_test.go) and the state-digest property test hold it to that
+// promise; MachinePool and RunScratch reuse ride on it.
+//
+// opts.Scratch is ignored: a warm machine recycles its own buffers.
+func (m *Machine) DeepReset(opts MachineOptions) error {
+	m.Board.DeepReset(opts.Seed, board.Options{NoByteCapture: opts.LeanCapture})
+	m.HV.DeepReset()
+	m.Linux.DeepReset()
+	m.RTOS = nil
+	m.CellID = 0
+	m.rtosNext = 0
+	return m.boot(opts)
+}
+
+// newRTOS hands out the next FreeRTOS kernel for a cell load: a recycled
+// arena kernel (deep-reset, workload re-installed) when one is free, a
+// freshly built one otherwise. The choice is invisible to the
+// simulation — a deep-reset kernel is state-identical to a new one.
+func (m *Machine) newRTOS() *freertos.Kernel {
+	if m.rtosNext < len(m.rtosArena) {
+		k := m.rtosArena[m.rtosNext]
+		m.rtosNext++
+		k.DeepReset(1)
+		k.InstallPaperWorkload()
+		return k
+	}
+	k := freertos.NewPaperWorkload(m.HV, 1)
+	m.rtosArena = append(m.rtosArena, k)
+	m.rtosNext = len(m.rtosArena)
+	return k
+}
+
+// boot runs the bring-up flow on a pristine (fresh or deep-reset) stack:
+// hypervisor enable, root Linux boot, then the cell lifecycle the
+// options select. It is the single boot path for cold and warm builds,
+// which is what makes warm==cold a structural property rather than a
+// maintained coincidence.
+func (m *Machine) boot(opts MachineOptions) error {
+	if err := m.Linux.HypervisorEnable(jailhouse.DefaultSystemConfig()); err != nil {
+		return fmt.Errorf("enable: %w", err)
+	}
+	m.Linux.Boot(0)
+
 	cfg := jailhouse.FreeRTOSCellConfig()
 
 	if opts.RecreateLoop {
@@ -98,15 +161,15 @@ func BuildMachine(opts MachineOptions) (*Machine, error) {
 		if period <= 0 {
 			period = 5 * sim.Second
 		}
-		linux.StartRecreateLoop(cfg, func() jailhouse.Inmate {
-			k := freertos.NewPaperWorkload(hv, 1)
+		m.Linux.StartRecreateLoop(cfg, func() jailhouse.Inmate {
+			k := m.newRTOS()
 			m.RTOS = k
 			return k
 		}, period)
 		if opts.StateWatchdog {
-			linux.StartStateWatchdog(0) // follows the current cycle's cell
+			m.Linux.StartStateWatchdog(0) // follows the current cycle's cell
 		}
-		return m, nil
+		return nil
 	}
 
 	if opts.DelayedCreate {
@@ -114,42 +177,42 @@ func BuildMachine(opts MachineOptions) (*Machine, error) {
 		if at <= 0 {
 			at = 2 * sim.Second
 		}
-		brd.Engine.Schedule(at, func() {
-			if err := linux.CellCreate(cfg); err != nil {
+		m.Board.Engine.Schedule(at, func() {
+			if err := m.Linux.CellCreate(cfg); err != nil {
 				return // tool error already on the console
 			}
-			m.CellID = linux.CellID
-			m.RTOS = freertos.NewPaperWorkload(hv, 1)
-			if err := linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
+			m.CellID = m.Linux.CellID
+			m.RTOS = m.newRTOS()
+			if err := m.Linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
 				return
 			}
-			if err := linux.CellStart(m.CellID); err != nil {
+			if err := m.Linux.CellStart(m.CellID); err != nil {
 				return
 			}
 			if opts.StateWatchdog {
-				linux.StartStateWatchdog(m.CellID)
+				m.Linux.StartStateWatchdog(m.CellID)
 			}
 		})
-		return m, nil
+		return nil
 	}
 
-	if err := linux.CellCreate(cfg); err != nil {
-		return nil, fmt.Errorf("cell create: %w", err)
+	if err := m.Linux.CellCreate(cfg); err != nil {
+		return fmt.Errorf("cell create: %w", err)
 	}
-	m.CellID = linux.CellID
-	m.RTOS = freertos.NewPaperWorkload(hv, 1)
-	if err := linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
-		return nil, fmt.Errorf("cell load: %w", err)
+	m.CellID = m.Linux.CellID
+	m.RTOS = m.newRTOS()
+	if err := m.Linux.CellLoad(m.CellID, inmateImage(), m.RTOS); err != nil {
+		return fmt.Errorf("cell load: %w", err)
 	}
 	if !opts.SkipCellStart {
-		if err := linux.CellStart(m.CellID); err != nil {
-			return nil, fmt.Errorf("cell start: %w", err)
+		if err := m.Linux.CellStart(m.CellID); err != nil {
+			return fmt.Errorf("cell start: %w", err)
 		}
 	}
 	if opts.StateWatchdog {
-		linux.StartStateWatchdog(m.CellID)
+		m.Linux.StartStateWatchdog(m.CellID)
 	}
-	return m, nil
+	return nil
 }
 
 // inmateImage produces the opaque "freertos.bin" bytes the tool writes

@@ -1,0 +1,89 @@
+package core
+
+import "sync"
+
+// MachinePool recycles fully built machines across experiment runs: Get
+// hands out a warm machine restored to power-on state via
+// Machine.DeepReset (building cold only when the pool is empty), Put
+// returns it for the next run. Because per-run machine construction is
+// the campaign pipeline's dominant cost once the event slab and trace
+// are pooled (see DESIGN.md), a shared pool converts most BuildMachine
+// time into a reset plus the unavoidable boot replay.
+//
+// The pool is safe for concurrent use; the machines it hands out are
+// not — exactly one goroutine owns a machine between Get and Put. A
+// pooled machine must only be Put back when nothing still reads from it
+// (transcripts are copied out by the runner before release).
+//
+// Admissibility rests on the differential determinism suite: a run on a
+// pooled machine must be byte-identical — outcomes, latencies, per-run
+// trace hashes — to the same run on a cold-built machine. Get therefore
+// never hides a DeepReset failure by quietly rebuilding: a warm boot
+// that fails where a cold boot would succeed is a state leak, and it
+// must surface.
+type MachinePool struct {
+	mu     sync.Mutex
+	idle   []*Machine
+	builds uint64
+	reuses uint64
+}
+
+// NewMachinePool returns an empty pool. The zero value is also ready to
+// use; the constructor exists for call sites that share one pool across
+// components.
+func NewMachinePool() *MachinePool { return &MachinePool{} }
+
+// Get returns a machine booted for opts: a deep-reset pooled machine
+// when one is idle, a cold build otherwise. opts.Scratch is ignored for
+// pooled machines (they recycle their own buffers).
+func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
+	p.mu.Lock()
+	var m *Machine
+	if n := len(p.idle); n > 0 {
+		m = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.reuses++
+	} else {
+		p.builds++
+	}
+	p.mu.Unlock()
+
+	if m == nil {
+		opts.Scratch = nil // pool machines own their buffers
+		return BuildMachine(opts)
+	}
+	if err := m.DeepReset(opts); err != nil {
+		// The machine is mid-boot garbage now; drop it rather than pool
+		// it, and report the failure instead of masking a possible leak
+		// with a silent rebuild.
+		return nil, err
+	}
+	return m, nil
+}
+
+// Put returns a machine to the pool. The machine may be in any state —
+// the next Get deep-resets it. Put(nil) is a no-op.
+func (p *MachinePool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.idle = append(p.idle, m)
+	p.mu.Unlock()
+}
+
+// Size reports how many machines sit idle in the pool.
+func (p *MachinePool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Stats reports how many Gets built cold and how many reused a warm
+// machine — the bench and the race test read these.
+func (p *MachinePool) Stats() (builds, reuses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.builds, p.reuses
+}

@@ -55,9 +55,15 @@ type RunOptions struct {
 	// call-count maps; ModeDistribution skips them, keeping only what the
 	// classifier and the streaming aggregator need.
 	Mode CampaignMode
-	// Scratch, when non-nil, recycles the engine/trace/UART buffers of a
-	// previous run on the same worker. Never share between goroutines.
+	// Scratch, when non-nil, keeps one warm machine per worker: the
+	// first run through a scratch builds cold, every following run
+	// deep-resets that machine instead of rebuilding the stack. Never
+	// share between goroutines.
 	Scratch *RunScratch
+	// Pool, when non-nil, draws the machine from a shared warm pool
+	// (Get before the run, Put after) and takes precedence over Scratch.
+	// Use it to share warm machines across workers, campaigns or shards.
+	Pool *MachinePool
 	// CaptureTraceHash computes RunResult.TraceHash after classification.
 	// Campaigns enable it when a streaming artefact hook is installed.
 	CaptureTraceHash bool
@@ -71,12 +77,12 @@ func RunExperiment(plan *TestPlan, seed uint64) (*RunResult, error) {
 }
 
 // RunExperimentOpts is RunExperiment with explicit retention mode and
-// scratch reuse — the campaign workers' entry point.
+// machine reuse — the campaign workers' entry point.
 func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	opts := MachineOptions{Seed: seed, StateWatchdog: true, Scratch: ro.Scratch}
+	opts := MachineOptions{Seed: seed, StateWatchdog: true}
 	if ro.Mode == ModeDistribution {
 		opts.LeanCapture = true
 	}
@@ -87,10 +93,11 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 	case WorkloadDelayedCreate:
 		opts.DelayedCreate = true
 	}
-	m, err := BuildMachine(opts)
+	m, release, err := acquireMachine(ro, opts)
 	if err != nil {
-		return nil, fmt.Errorf("build machine: %w", err)
+		return nil, err
 	}
+	defer release()
 	if ro.CaptureTraceHash {
 		// Fold the digest on append: end-of-run hashing then reads a
 		// finished state instead of rendering the whole trace. Records the
@@ -142,6 +149,45 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 	return res, nil
 }
 
+// noRelease is the release stub for machines nobody reclaims.
+func noRelease() {}
+
+// acquireMachine resolves the run's machine source: a shared pool, a
+// per-worker scratch (warm after its first run), or a cold build. The
+// release callback returns pooled machines; everything the caller still
+// needs from the machine (transcripts, counters) must be copied out
+// before release runs — RunExperimentOpts copies during result
+// assembly, so its deferred release is safe.
+func acquireMachine(ro RunOptions, opts MachineOptions) (*Machine, func(), error) {
+	switch {
+	case ro.Pool != nil:
+		m, err := ro.Pool.Get(opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pool machine: %w", err)
+		}
+		return m, func() { ro.Pool.Put(m) }, nil
+	case ro.Scratch != nil && ro.Scratch.machine != nil:
+		if err := ro.Scratch.machine.DeepReset(opts); err != nil {
+			return nil, nil, fmt.Errorf("deep reset machine: %w", err)
+		}
+		return ro.Scratch.machine, noRelease, nil
+	case ro.Scratch != nil:
+		opts.Scratch = ro.Scratch
+		m, err := BuildMachine(opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("build machine: %w", err)
+		}
+		ro.Scratch.machine = m // warm from now on
+		return m, noRelease, nil
+	default:
+		m, err := BuildMachine(opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("build machine: %w", err)
+		}
+		return m, noRelease, nil
+	}
+}
+
 // detectionLatency measures first-injection → first park/panic evidence.
 // first is the virtual time of the first injection (-1 when none
 // happened). The trace is scanned in place without rendering messages.
@@ -179,6 +225,14 @@ func GoldenRun(seed uint64, d sim.Time) (*GoldenProfile, error) {
 	if err != nil {
 		return nil, err
 	}
+	return goldenProfileOn(m, seed, d)
+}
+
+// goldenProfileOn runs the fault-free profile on an already-built
+// machine — shared by GoldenRun and the warm-pool golden test, which
+// feeds it a deep-reset machine to prove warm golden runs hash
+// identically.
+func goldenProfileOn(m *Machine, seed uint64, d sim.Time) (*GoldenProfile, error) {
 	counts := make(map[jailhouse.InjectionPoint]uint64)
 	m.HV.Hook = func(point jailhouse.InjectionPoint, cpu int, cell string, ctx *armv7.TrapContext) jailhouse.InjectionResult {
 		counts[point]++

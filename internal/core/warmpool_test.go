@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// runFingerprint is everything the differential suite compares per run:
+// the classification, the latency evidence and the byte-identity
+// fingerprint of the whole event stream.
+type runFingerprint struct {
+	outcome    Outcome
+	injections int
+	detection  sim.Time
+	horizon    sim.Time
+	cellLines  int
+	traceHash  uint64
+	rootText   string // ModeFull only
+	cellText   string // ModeFull only
+}
+
+func fingerprint(r *RunResult) runFingerprint {
+	return runFingerprint{
+		outcome:    r.Outcome(),
+		injections: len(r.Injections),
+		detection:  r.DetectionLatency,
+		horizon:    r.Horizon,
+		cellLines:  r.CellLines,
+		traceHash:  r.TraceHash,
+		rootText:   r.RootTranscript,
+		cellText:   r.CellTranscript,
+	}
+}
+
+// campaignSeeds replays the campaign's seed chain: MasterSeed through
+// SplitMix64, one output per run.
+func campaignSeeds(master uint64, n int) []uint64 {
+	state := master
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = sim.SplitMix64(&state)
+	}
+	return seeds
+}
+
+// coldReference runs every seed on a freshly built machine — no scratch,
+// no pool — the ground truth the warm paths must reproduce byte for
+// byte.
+func coldReference(t *testing.T, plan *TestPlan, seeds []uint64, mode CampaignMode) []runFingerprint {
+	t.Helper()
+	out := make([]runFingerprint, len(seeds))
+	for i, seed := range seeds {
+		r, err := RunExperimentOpts(plan, seed, RunOptions{Mode: mode, CaptureTraceHash: true})
+		if err != nil {
+			t.Fatalf("cold run %d (seed %#x): %v", i, seed, err)
+		}
+		out[i] = fingerprint(r)
+	}
+	return out
+}
+
+// shortPlans returns the three experiment families at differential-suite
+// durations: long enough for E1 to complete recreate cycles and for E2's
+// delayed bring-up window to open, short enough to run the full
+// plan × seed × mode matrix.
+func shortPlans() []*TestPlan {
+	e1 := *PlanE1HVC()
+	e1.Duration = 12 * sim.Second
+	e1.Name = "E1-warmdiff"
+	e2 := *PlanE2Core1()
+	e2.Duration = 8 * sim.Second
+	e2.Name = "E2-warmdiff"
+	e3 := *PlanE3Fig3()
+	e3.Duration = 8 * sim.Second
+	e3.Name = "E3-warmdiff"
+	return []*TestPlan{&e1, &e2, &e3}
+}
+
+// TestWarmPoolDifferentialDeterminism is the admissibility proof for
+// machine reuse: for every plan family (E1/E2/E3), several master
+// seeds and both retention modes, a campaign over a shared warm pool —
+// and one over the default per-worker warm scratch — must be
+// byte-identical to cold fresh-build runs: same outcome, same injection
+// count, same detection latency, same per-run trace hash, and in Full
+// mode the very same transcripts.
+func TestWarmPoolDifferentialDeterminism(t *testing.T) {
+	runs := 6
+	masters := []uint64{2022, 7, 0xfeedface}
+	if testing.Short() {
+		// The race gate runs this too; keep the full plan × mode matrix
+		// but trim the seed axis and the per-cell run count.
+		runs = 3
+		masters = masters[:1]
+	}
+	for _, plan := range shortPlans() {
+		for _, master := range masters {
+			for _, mode := range []CampaignMode{ModeFull, ModeDistribution} {
+				name := fmt.Sprintf("%s/seed-%d/%s", plan.Name, master, mode)
+				t.Run(name, func(t *testing.T) {
+					seeds := campaignSeeds(master, runs)
+					cold := coldReference(t, plan, seeds, mode)
+
+					for _, cfg := range []struct {
+						label string
+						pool  *MachinePool
+					}{
+						{"shared-pool", NewMachinePool()},
+						{"worker-scratch", nil},
+					} {
+						var mu sync.Mutex
+						warm := make([]runFingerprint, runs)
+						c := &Campaign{
+							Plan: plan, Runs: runs, MasterSeed: master,
+							Mode: mode, Pool: cfg.pool,
+							OnRun: func(index int, r *RunResult) {
+								mu.Lock()
+								warm[index] = fingerprint(r)
+								mu.Unlock()
+							},
+						}
+						if _, err := c.Execute(context.Background()); err != nil {
+							t.Fatalf("%s campaign: %v", cfg.label, err)
+						}
+						for i := range cold {
+							if warm[i] != cold[i] {
+								t.Fatalf("%s diverged from cold build on run %d (seed %#x):\nwarm: %+v\ncold: %+v",
+									cfg.label, i, seeds[i], warm[i], cold[i])
+							}
+						}
+						if cfg.pool != nil {
+							if _, reuses := cfg.pool.Stats(); reuses == 0 && runs > 1 {
+								t.Fatal("shared pool never reused a machine — the warm path was not exercised")
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWarmPoolGoldenSerial pins the seed-2022 40-run E3 campaign — the
+// repo's golden split — under the shared warm pool: 23 correct, 1
+// inconsistent, 16 panic-park, 56 injections, exactly the cold numbers.
+func TestWarmPoolGoldenSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration campaign")
+	}
+	want := map[Outcome]int{
+		OutcomeCorrect:      23,
+		OutcomeInconsistent: 1,
+		OutcomePanicPark:    16,
+	}
+	pool := NewMachinePool()
+	for _, mode := range []CampaignMode{ModeFull, ModeDistribution} {
+		c := &Campaign{Plan: PlanE3Fig3(), Runs: 40, MasterSeed: 2022, Mode: mode, Pool: pool}
+		res, err := c.Execute(context.Background())
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for _, o := range AllOutcomes() {
+			if res.Count(o) != want[o] {
+				t.Fatalf("mode %v: count(%v) = %d, want %d", mode, o, res.Count(o), want[o])
+			}
+		}
+		if res.Total() != 40 || res.InjectionsTotal() != 56 {
+			t.Fatalf("mode %v: total=%d injections=%d, want 40/56", mode, res.Total(), res.InjectionsTotal())
+		}
+	}
+	if builds, reuses := pool.Stats(); reuses == 0 {
+		t.Fatalf("pool stats builds=%d reuses=%d — golden campaign never reused", builds, reuses)
+	}
+}
+
+// TestWarmPoolGoldenMinuteTraceHash proves a deep-reset machine replays
+// the fault-free golden minute bit for bit: a machine dirtied by a
+// high-intensity injection run, drawn warm from the pool, must produce
+// the pinned golden trace hash and liveness counters.
+func TestWarmPoolGoldenMinuteTraceHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration golden run")
+	}
+	pool := NewMachinePool()
+	dirty := *PlanE1HVC()
+	dirty.Duration = 12 * sim.Second
+	dirty.Name = "E1-dirty"
+	if _, err := RunExperimentOpts(&dirty, 99, RunOptions{Pool: pool}); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 2022} {
+		m, err := pool.Get(DefaultMachineOptions(seed))
+		if err != nil {
+			t.Fatalf("warm Get(seed %d): %v", seed, err)
+		}
+		gp, err := goldenProfileOn(m, seed, sim.Minute)
+		if err != nil {
+			t.Fatalf("warm golden run (seed %d): %v", seed, err)
+		}
+		if gp.TraceHash != goldenMinuteTraceHash {
+			t.Fatalf("warm golden run (seed %d) trace hash = %#x, want golden %#x",
+				seed, gp.TraceHash, goldenMinuteTraceHash)
+		}
+		if gp.CellLines != 291 || gp.RootLines != 10 || gp.LEDToggles != 120 {
+			t.Fatalf("warm golden run (seed %d) liveness = (cell %d, root %d, led %d), want (291, 10, 120)",
+				seed, gp.CellLines, gp.RootLines, gp.LEDToggles)
+		}
+		pool.Put(m)
+	}
+	if _, reuses := pool.Stats(); reuses == 0 {
+		t.Fatal("golden minute never ran on a reused machine")
+	}
+}
+
+// TestStateLeakFuzzDeepResetMatchesFresh is the leak detector: run a
+// randomly chosen plan at a random seed (dirtying every layer —
+// injections park CPUs, panic the hypervisor, halt kernels, fill
+// UARTs), deep-reset the machine to fresh options, and demand the full
+// observable state digest — pending/active IRQ bitmaps, UART buffers,
+// engine queue, cell states, trace, RAM content, guest state — equals a
+// freshly built machine's, bit for bit.
+func TestStateLeakFuzzDeepResetMatchesFresh(t *testing.T) {
+	plans := shortPlans()
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	for iter := 0; iter < 12; iter++ {
+		plan := plans[rng.Intn(len(plans))]
+		dirtySeed := rng.Uint64()
+		scratch := NewRunScratch()
+		if _, err := RunExperimentOpts(plan, dirtySeed, RunOptions{Scratch: scratch}); err != nil {
+			t.Fatalf("iter %d: dirty run (%s, seed %#x): %v", iter, plan.Name, dirtySeed, err)
+		}
+		if scratch.machine == nil {
+			t.Fatal("scratch did not retain the warm machine")
+		}
+
+		// Reset the dirty machine to a fresh configuration and hold its
+		// digest against a cold build with the same options.
+		freshSeed := rng.Uint64()
+		opts := DefaultMachineOptions(freshSeed)
+		if rng.Intn(2) == 1 {
+			opts.LeanCapture = true
+		}
+		if rng.Intn(3) == 0 {
+			opts.DelayedCreate = true
+		}
+		if err := scratch.machine.DeepReset(opts); err != nil {
+			t.Fatalf("iter %d: deep reset: %v", iter, err)
+		}
+		fresh, err := BuildMachine(opts)
+		if err != nil {
+			t.Fatalf("iter %d: fresh build: %v", iter, err)
+		}
+		warmDigest, freshDigest := scratch.machine.StateDigest(), fresh.StateDigest()
+		if warmDigest != freshDigest {
+			t.Fatalf("iter %d: state leak after %s (dirty seed %#x): deep-reset digest %#x != fresh digest %#x (opts %+v)",
+				iter, plan.Name, dirtySeed, warmDigest, freshDigest, opts)
+		}
+
+		// The digest must also agree after both machines run the same
+		// horizon — a leak in unobserved state (e.g. RNG position) shows
+		// up as divergence once events fire.
+		scratch.machine.Run(3 * sim.Second)
+		fresh.Run(3 * sim.Second)
+		if w, f := scratch.machine.StateDigest(), fresh.StateDigest(); w != f {
+			t.Fatalf("iter %d: divergence after running the reset machine: %#x != %#x", iter, w, f)
+		}
+	}
+}
+
+// TestStateDigestDiscriminates guards the digest itself: machines with
+// different seeds or different boot options must not collide (else the
+// leak fuzz proves nothing).
+func TestStateDigestDiscriminates(t *testing.T) {
+	a, err := BuildMachine(DefaultMachineOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMachine(DefaultMachineOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("identical builds digest differently")
+	}
+	a.Run(2 * sim.Second)
+	if a.StateDigest() == b.StateDigest() {
+		t.Fatal("running the machine did not change the digest")
+	}
+	c, err := BuildMachine(MachineOptions{Seed: 1, StateWatchdog: true, DelayedCreate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.StateDigest() == b.StateDigest() {
+		t.Fatal("different boot options digest identically")
+	}
+}
+
+// TestMachinePoolConcurrentWorkers exercises the pool from many
+// goroutines at once — the configuration the bench.sh race gate runs —
+// and checks the shared-pool campaign still lands on the serial
+// aggregate.
+func TestMachinePoolConcurrentWorkers(t *testing.T) {
+	plan := *PlanE3Fig3()
+	plan.Duration = 6 * sim.Second
+	plan.Name = "E3-pool-race"
+	const runs = 24
+
+	serial := &Campaign{Plan: &plan, Runs: runs, MasterSeed: 11, Workers: 1}
+	want, err := serial.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewMachinePool()
+	parallel := &Campaign{Plan: &plan, Runs: runs, MasterSeed: 11, Workers: 8, Pool: pool}
+	got, err := parallel.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range AllOutcomes() {
+		if got.Count(o) != want.Count(o) {
+			t.Fatalf("count(%v) = %d pooled, %d serial", o, got.Count(o), want.Count(o))
+		}
+	}
+	if got.InjectionsTotal() != want.InjectionsTotal() {
+		t.Fatalf("injections %d pooled, %d serial", got.InjectionsTotal(), want.InjectionsTotal())
+	}
+	builds, reuses := pool.Stats()
+	if builds+reuses != runs {
+		t.Fatalf("pool served %d machines for %d runs", builds+reuses, runs)
+	}
+	if builds > 8 {
+		t.Fatalf("pool built %d machines for 8 workers — reuse is not happening", builds)
+	}
+}
+
+// TestRunScratchKeepsWarmMachine pins the scratch lifecycle: the first
+// run builds and parks a machine, later runs deep-reset that same
+// machine in place.
+func TestRunScratchKeepsWarmMachine(t *testing.T) {
+	plan := *PlanE3Fig3()
+	plan.Duration = 6 * sim.Second
+	scratch := NewRunScratch()
+	if _, err := RunExperimentOpts(&plan, 1, RunOptions{Scratch: scratch}); err != nil {
+		t.Fatal(err)
+	}
+	first := scratch.machine
+	if first == nil {
+		t.Fatal("first run did not park its machine in the scratch")
+	}
+	if _, err := RunExperimentOpts(&plan, 2, RunOptions{Scratch: scratch}); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.machine != first {
+		t.Fatal("second run rebuilt instead of deep-resetting the warm machine")
+	}
+}

@@ -190,6 +190,65 @@ func TestShardedCampaignGoldenSeed2022(t *testing.T) {
 	}
 }
 
+// TestShardedWarmPoolGoldenSeed2022 pins the golden split when all
+// three shards execute in one process over a shared warm-machine pool
+// (the fan-out in-process configuration): machines booted by shard 0
+// are deep-reset and reused by shards 1 and 2, and the merged campaign
+// still lands exactly on 23/1/16 with 56 injections — plus per-run
+// trace hashes identical to the serial reference.
+func TestShardedWarmPoolGoldenSeed2022(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration campaign")
+	}
+	_, serialHashes := serialReference(t, core.PlanE3Fig3(), 40, 2022, core.ModeDistribution)
+
+	spec := &Spec{Plan: core.PlanE3Fig3(), Runs: 40, MasterSeed: 2022, Shards: 3, Mode: core.ModeDistribution}
+	pool := core.NewMachinePool()
+	dir := t.TempDir()
+	paths := make([]string, spec.Shards)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%02d.jsonl", i))
+		if _, skipped, err := ExecuteShardPool(context.Background(), spec, i, 0, paths[i], pool); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		} else if skipped {
+			t.Fatalf("shard %d skipped on first execution", i)
+		}
+	}
+	merged, shards, err := Merge(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[core.Outcome]int{
+		core.OutcomeCorrect:      23,
+		core.OutcomeInconsistent: 1,
+		core.OutcomePanicPark:    16,
+	}
+	for _, o := range core.AllOutcomes() {
+		if merged.Count(o) != want[o] {
+			t.Fatalf("count(%v) = %d, want %d", o, merged.Count(o), want[o])
+		}
+	}
+	if merged.Total() != 40 || merged.InjectionsTotal() != 56 {
+		t.Fatalf("total=%d injections=%d, want 40/56", merged.Total(), merged.InjectionsTotal())
+	}
+	got := make(map[int]uint64, 40)
+	for _, sf := range shards {
+		for idx, h := range sf.TraceHashes {
+			got[idx] = h
+		}
+	}
+	for idx, h := range serialHashes {
+		if got[idx] != h {
+			t.Fatalf("run %d: trace hash %#x warm-sharded, %#x serial", idx, got[idx], h)
+		}
+	}
+	builds, reuses := pool.Stats()
+	if reuses == 0 {
+		t.Fatalf("pool stats builds=%d reuses=%d — shards never shared a machine", builds, reuses)
+	}
+}
+
 // TestExecuteShardResume pins the resume contract: a completed shard
 // file short-circuits the rerun; an interrupted one (no summary) is
 // re-executed; a file from a different campaign is never overwritten.

@@ -17,6 +17,16 @@ import (
 // A readable file that belongs to a *different* campaign is never
 // overwritten; that is an operator mistake, reported as an error.
 func ExecuteShard(ctx context.Context, spec *Spec, index, workers int, outPath string) (res *core.CampaignResult, skipped bool, err error) {
+	return ExecuteShardPool(ctx, spec, index, workers, outPath, nil)
+}
+
+// ExecuteShardPool is ExecuteShard with an optional shared warm-machine
+// pool: shards executing in the same process (the fan-out supervisor's
+// in-process launcher, tests, embeddings) hand each other their booted
+// machines instead of each shard's workers warming up their own. pool
+// may be nil; reuse never changes results — the warm pool's differential
+// determinism suite pins warm == cold per run.
+func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPath string, pool *core.MachinePool) (res *core.CampaignResult, skipped bool, err error) {
 	sh, err := spec.Shard(index)
 	if err != nil {
 		return nil, false, err
@@ -70,6 +80,7 @@ func ExecuteShard(ctx context.Context, spec *Spec, index, workers int, outPath s
 			cancel()
 		}
 	})
+	c.Pool = pool
 	res, err = c.Execute(ctx)
 	if werr := w.Err(); werr != nil {
 		return nil, false, fmt.Errorf("dist: shard %d artefact write to %s: %w", index, outPath, werr)

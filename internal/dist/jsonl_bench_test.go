@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// BenchmarkJSONLWriterFlushPolicy isolates the artefact write path: one
+// run record encoded and written per op, under the old per-record flush
+// discipline ("sync") versus the timer/batch policy CreateJSONL now
+// installs ("batched"). The delta is the flush syscall + (for gzip) the
+// flate sync point that every record used to pay.
+func BenchmarkJSONLWriterFlushPolicy(b *testing.B) {
+	rec := &core.RunResult{Seed: 0xfeed, DetectionLatency: -1}
+	for _, tc := range []struct {
+		name string
+		gz   bool
+		sync bool
+	}{
+		{"plain-sync", false, true},
+		{"plain-batched", false, false},
+		{"gzip-sync", true, true},
+		{"gzip-batched", true, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			name := "runs.jsonl"
+			if tc.gz {
+				name += ".gz"
+			}
+			w, err := CreateJSONL(filepath.Join(b.TempDir(), name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			if tc.sync {
+				w.SetFlushInterval(0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.OnRun(i, rec)
+			}
+			b.StopTimer()
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
 )
 
 // TestTailCountsIncrementally simulates a worker appending to its
@@ -75,6 +78,73 @@ func TestTailResetsOnTruncation(t *testing.T) {
 	}
 	if p, _ := tail.Poll(); p.Runs != 1 {
 		t.Fatalf("post-truncation runs = %d, want 1", p.Runs)
+	}
+}
+
+// TestBatchedFlushKeepsTailLive pins the JSONL batching contract: run
+// records written through CreateJSONL's timer-batched writer become
+// visible to a Tail within the flush interval (not only at summary
+// time), and a full batch flushes immediately without waiting for the
+// timer.
+func TestBatchedFlushKeepsTailLive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.jsonl")
+	w, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteManifest(Manifest{Type: "manifest", Schema: SchemaVersion}); err != nil {
+		t.Fatal(err)
+	}
+	tail := NewTail(path)
+
+	// A handful of records — fewer than a batch — must surface via the
+	// deadline timer. Allow generous wall-clock slack for CI noise; the
+	// contract is "within the interval", the assertion is "well before a
+	// summary would have been the first flush".
+	rec := &core.RunResult{Seed: 1, DetectionLatency: -1}
+	for i := 0; i < 3; i++ {
+		w.OnRun(i, rec)
+	}
+	deadline := time.Now().Add(50 * DefaultFlushInterval)
+	for {
+		p, err := tail.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Runs == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batched records never reached the artefact (tail sees %d of 3 runs)", p.Runs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A full batch flushes synchronously in OnRun — whatever the timer
+	// does concurrently, fewer than flushBatch records can be pending
+	// after this loop, so at least 3+flushBatch are on disk already.
+	for i := 3; i < 3+2*flushBatch; i++ {
+		w.OnRun(i, rec)
+	}
+	p, err := tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs < 3+flushBatch {
+		t.Fatalf("full batch not flushed synchronously: tail sees %d of %d runs", p.Runs, 3+2*flushBatch)
+	}
+
+	// The summary flushes immediately and marks completion.
+	if err := w.WriteSummary(&core.CampaignResult{}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = tail.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Complete {
+		t.Fatal("summary not visible immediately after WriteSummary")
 	}
 }
 

@@ -209,7 +209,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("fanout: negative retry budget %d", cfg.Retries)
 	}
 	if cfg.Launcher == nil {
-		cfg.Launcher = InProcess{}
+		// Default in-process workers share one warm-machine pool: every
+		// shard after the first mostly deep-resets machines the earlier
+		// shards booted.
+		cfg.Launcher = InProcess{Pool: core.NewMachinePool()}
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 200 * time.Millisecond

@@ -111,9 +111,12 @@ func TestFanoutMatchesSerial(t *testing.T) {
 // killFirstLauncher kills the target shard's first worker once it has
 // streamed at least one run record — a deterministic mid-shard crash.
 // The doomed attempt runs with a single campaign worker so the kill
-// always lands before the window can complete.
+// always lands before the window can complete. All attempts — doomed,
+// restarted and healthy alike — draw machines from one shared warm
+// pool, so the crash-recovery path is exercised on reused machines.
 type killFirstLauncher struct {
 	target int
+	pool   *core.MachinePool
 	mu     sync.Mutex
 	killed bool
 }
@@ -125,8 +128,12 @@ func (l *killFirstLauncher) Start(ctx context.Context, req StartRequest) (Worker
 		l.killed = true
 		req.Workers = 1
 	}
+	if l.pool == nil {
+		l.pool = core.NewMachinePool()
+	}
+	pool := l.pool
 	l.mu.Unlock()
-	w, err := InProcess{}.Start(ctx, req)
+	w, err := InProcess{Pool: pool}.Start(ctx, req)
 	if err != nil || !doomed {
 		return w, err
 	}
@@ -149,9 +156,13 @@ func (l *killFirstLauncher) Start(ctx context.Context, req StartRequest) (Worker
 
 // TestFanoutKilledWorkerResumes: a worker dies mid-shard; the
 // supervisor restarts it and the merged result is still bit-identical
-// to the serial campaign, with a truthful crash in the manifest.
+// to the serial campaign, with a truthful crash in the manifest. The
+// campaign is sized so the doomed shard's window comfortably outlasts
+// one JSONL flush interval — warm machines made 8-run shards finish
+// inside a single batch, which would let the shard complete before the
+// killer's tail ever saw a record.
 func TestFanoutKilledWorkerResumes(t *testing.T) {
-	const runs, seed = 24, uint64(2022)
+	const runs, seed = 120, uint64(2022)
 	plan := shortE3()
 	serial, hashes := serialReference(t, plan, runs, seed)
 
@@ -180,16 +191,18 @@ func TestFanoutKilledWorkerResumes(t *testing.T) {
 
 // TestFanoutGoldenSeed2022KilledWorker is the acceptance gate: the
 // pinned E3/Figure-3 campaign (40 one-minute runs, master seed 2022, 3
-// shards) supervised in one call, with one worker killed partway
-// through, still reproduces the golden 23/1/16 split and 56 injections.
+// shards) supervised in one call, with every worker drawing machines
+// from one shared warm pool and one worker killed partway through,
+// still reproduces the golden 23/1/16 split and 56 injections.
 func TestFanoutGoldenSeed2022KilledWorker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-duration campaign")
 	}
+	pool := core.NewMachinePool()
 	spec := &dist.Spec{Plan: core.PlanE3Fig3(), Runs: 40, MasterSeed: 2022, Shards: 3, Mode: core.ModeDistribution}
 	res, err := Run(context.Background(), Config{
 		Spec: spec, Dir: t.TempDir(), Retries: 2,
-		Launcher: &killFirstLauncher{target: 1}, Poll: 5 * time.Millisecond,
+		Launcher: &killFirstLauncher{target: 1, pool: pool}, Poll: 5 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +219,9 @@ func TestFanoutGoldenSeed2022KilledWorker(t *testing.T) {
 	}
 	if res.Merged.Total() != 40 || res.Merged.InjectionsTotal() != 56 {
 		t.Fatalf("total=%d injections=%d, want 40/56", res.Merged.Total(), res.Merged.InjectionsTotal())
+	}
+	if builds, reuses := pool.Stats(); reuses == 0 {
+		t.Fatalf("pool stats builds=%d reuses=%d — supervised campaign never reused a machine", builds, reuses)
 	}
 }
 

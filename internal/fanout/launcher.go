@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 
+	"github.com/dessertlab/certify/internal/core"
 	"github.com/dessertlab/certify/internal/dist"
 )
 
@@ -55,11 +56,20 @@ type Launcher interface {
 
 // ---- In-process launcher ----
 
-// InProcess executes shards as goroutines via dist.ExecuteShard. Kill
-// cancels the shard's context: the campaign stops scheduling runs and
-// the artefact is left without a summary, exactly like a crashed
+// InProcess executes shards as goroutines via dist.ExecuteShardPool.
+// Kill cancels the shard's context: the campaign stops scheduling runs
+// and the artefact is left without a summary, exactly like a crashed
 // process after its buffers flushed.
-type InProcess struct{}
+//
+// Pool, when non-nil, is the shared warm-machine pool every shard's
+// workers draw from: machines booted by one shard are deep-reset and
+// reused by the next instead of being rebuilt. The supervisor installs
+// one automatically when it defaults to this launcher; wrapping
+// launchers that construct InProcess themselves opt in by sharing one
+// core.MachinePool across attempts.
+type InProcess struct {
+	Pool *core.MachinePool
+}
 
 type inprocWorker struct {
 	cancel context.CancelFunc
@@ -68,7 +78,7 @@ type inprocWorker struct {
 }
 
 // Start implements Launcher.
-func (InProcess) Start(ctx context.Context, req StartRequest) (Worker, error) {
+func (l InProcess) Start(ctx context.Context, req StartRequest) (Worker, error) {
 	if req.Spec == nil {
 		return nil, fmt.Errorf("fanout: in-process worker needs a spec")
 	}
@@ -77,7 +87,7 @@ func (InProcess) Start(ctx context.Context, req StartRequest) (Worker, error) {
 	go func() {
 		defer close(w.done)
 		defer cancel()
-		_, _, err := dist.ExecuteShard(wctx, req.Spec, req.Index, req.Workers, req.OutPath)
+		_, _, err := dist.ExecuteShardPool(wctx, req.Spec, req.Index, req.Workers, req.OutPath, l.Pool)
 		w.err = err
 	}()
 	return w, nil

@@ -91,14 +91,29 @@ type Distributor struct {
 func New(numCPUs int) *Distributor {
 	d := &Distributor{numCPUs: numCPUs}
 	for i := 0; i < numCPUs; i++ {
-		d.cpus = append(d.cpus, &perCPU{
-			priMask: 0xFF, // all priorities allowed through once enabled
-		})
+		d.cpus = append(d.cpus, &perCPU{})
 	}
+	d.Reset()
+	return d
+}
+
+// Reset restores the distributor and every CPU interface to the
+// power-on state New establishes, in place: all interrupts disabled at
+// reset-default priority, no targets, nothing pending or active, and no
+// delivery hook. The warm machine-reuse path calls this between runs.
+func (d *Distributor) Reset() {
+	d.ctlr = false
+	d.enabled = [MaxIRQ]bool{}
 	for i := range d.priority {
 		d.priority[i] = 0xA0 // reset default mid priority
 	}
-	return d
+	d.targets = [MaxIRQ]uint8{}
+	for _, p := range d.cpus {
+		*p = perCPU{
+			priMask: 0xFF, // all priorities allowed through once enabled
+		}
+	}
+	d.DeliverHook = nil
 }
 
 // NumCPUs returns the number of CPU interfaces.
@@ -115,6 +130,30 @@ func (d *Distributor) EnableCPUInterface(cpu int, on bool) {
 	if p := d.cpu(cpu); p != nil {
 		p.enabled = on
 	}
+}
+
+// CPUInterfaceEnabled reports GICC_CTLR.Enable for one core.
+func (d *Distributor) CPUInterfaceEnabled(cpu int) bool {
+	p := d.cpu(cpu)
+	return p != nil && p.enabled
+}
+
+// PriorityMask reads GICC_PMR for one core (0 when out of range).
+func (d *Distributor) PriorityMask(cpu int) uint8 {
+	if p := d.cpu(cpu); p != nil {
+		return p.priMask
+	}
+	return 0
+}
+
+// SGISource returns the recorded source CPU of a pending SGI — state a
+// power-on-equivalence check must see, since Acknowledge reads it.
+func (d *Distributor) SGISource(cpu, id int) int {
+	p := d.cpu(cpu)
+	if p == nil || !IsSGI(id) {
+		return 0
+	}
+	return int(p.sgiSrc[id])
 }
 
 // SetPriorityMask writes GICC_PMR for one core.

@@ -30,6 +30,17 @@ func New(now func() sim.Time) *Port {
 	}
 }
 
+// Reset drives every line low and forgets the toggle history while
+// keeping the capture buffers allocated, and rebinds the clock — the
+// warm machine-reuse path between campaign runs.
+func (p *Port) Reset(now func() sim.Time) {
+	p.now = now
+	clear(p.state)
+	for pin := range p.toggles {
+		p.toggles[pin] = p.toggles[pin][:0]
+	}
+}
+
 // Set drives pin to level on.
 func (p *Port) Set(pin int, on bool) {
 	if p.state[pin] == on {

@@ -102,6 +102,13 @@ type Kernel struct {
 	// queues registered for corruption bookkeeping.
 	queues []*Queue
 
+	// tcbPool and queuePool recycle control blocks across DeepReset
+	// cycles: CreateTask and NewQueue draw from them instead of
+	// allocating, so a warm machine's kernel rebuilds its workload
+	// allocation-free.
+	tcbPool   []*TCB
+	queuePool []*Queue
+
 	// stats
 	ContextSwitches uint64
 	TicksSeen       uint64
@@ -114,6 +121,34 @@ func NewKernel(hv *jailhouse.Hypervisor, cpu int) *Kernel {
 }
 
 var _ jailhouse.Inmate = (*Kernel)(nil)
+
+// DeepReset restores the kernel to the state NewKernel establishes, in
+// place: no tasks, no queues, tick zero, scheduler not started, no armed
+// corruption (wild jump / smashed stack) and zeroed statistics. Existing
+// task and queue control blocks are recycled into internal pools that
+// the next CreateTask/NewQueue calls drain, so re-installing a workload
+// on a deep-reset kernel performs no steady-state allocation. The
+// hypervisor binding survives; cpu rebinds the cell CPU.
+func (k *Kernel) DeepReset(cpu int) {
+	for _, t := range k.tasks {
+		*t = TCB{} // release the step closure and any wait edges
+		k.tcbPool = append(k.tcbPool, t)
+	}
+	k.tasks = k.tasks[:0]
+	for _, q := range k.queues {
+		q.recycle()
+		k.queuePool = append(k.queuePool, q)
+	}
+	k.queues = k.queues[:0]
+	k.cpu = cpu
+	k.current, k.idle = nil, nil
+	k.tick = 0
+	k.started = false
+	k.halted, k.haltReason = false, ""
+	k.wildJump, k.wildJumpAddr = false, 0
+	k.stackSmashed = false
+	k.ContextSwitches, k.TicksSeen = 0, 0
+}
 
 // Name implements jailhouse.Inmate.
 func (k *Kernel) Name() string { return "FreeRTOS" }
@@ -132,6 +167,14 @@ func (k *Kernel) Tasks() []*TCB {
 	return out
 }
 
+// Queues returns the registered queues (for tests and the machine-level
+// state digest).
+func (k *Kernel) Queues() []*Queue {
+	out := make([]*Queue, len(k.queues))
+	copy(out, k.queues)
+	return out
+}
+
 // CreateTask registers a task. Must be called before Boot completes
 // (tasks created later are accepted but start on the next tick).
 func (k *Kernel) CreateTask(name string, priority int, step StepFunc) *TCB {
@@ -141,7 +184,14 @@ func (k *Kernel) CreateTask(name string, priority int, step StepFunc) *TCB {
 	if priority >= MaxPriorities {
 		priority = MaxPriorities - 1
 	}
-	t := &TCB{
+	var t *TCB
+	if n := len(k.tcbPool); n > 0 {
+		t = k.tcbPool[n-1]
+		k.tcbPool = k.tcbPool[:n-1]
+	} else {
+		t = &TCB{}
+	}
+	*t = TCB{
 		Name:       name,
 		Priority:   priority,
 		State:      StateReady,

@@ -20,14 +20,38 @@ type Queue struct {
 }
 
 // NewQueue creates a queue with the given capacity and registers it with
-// the kernel for corruption bookkeeping.
+// the kernel for corruption bookkeeping. Control blocks recycled by a
+// DeepReset are reused before anything is allocated.
 func (k *Kernel) NewQueue(name string, capacity int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	q := &Queue{name: name, cap: capacity}
+	var q *Queue
+	if n := len(k.queuePool); n > 0 {
+		q = k.queuePool[n-1]
+		k.queuePool = k.queuePool[:n-1]
+	} else {
+		q = &Queue{}
+	}
+	q.name, q.cap = name, capacity
 	k.queues = append(k.queues, q)
 	return q
+}
+
+// recycle empties the queue for reuse while keeping its buffers
+// allocated — the DeepReset path.
+func (q *Queue) recycle() {
+	for i := range q.sendWaiters {
+		q.sendWaiters[i] = nil
+	}
+	for i := range q.recvWaiters {
+		q.recvWaiters[i] = nil
+	}
+	*q = Queue{
+		buf:         q.buf[:0],
+		sendWaiters: q.sendWaiters[:0],
+		recvWaiters: q.recvWaiters[:0],
+	}
 }
 
 // Len returns the number of queued items.

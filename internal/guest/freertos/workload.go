@@ -29,6 +29,16 @@ const (
 // a whole-system liveness summary.
 func NewPaperWorkload(hv *jailhouse.Hypervisor, cpu int) *Kernel {
 	k := NewKernel(hv, cpu)
+	k.InstallPaperWorkload()
+	return k
+}
+
+// InstallPaperWorkload populates the kernel with the paper's task set.
+// It assumes a pristine kernel — freshly built, or just deep-reset; the
+// warm machine path calls it after DeepReset to rebuild the workload
+// from recycled control blocks with fresh step closures (closures carry
+// per-task mutable state and are the one thing a reset cannot rewind).
+func (k *Kernel) InstallPaperWorkload() {
 	q := k.NewQueue("seq", 8)
 
 	k.CreateTask("blink", 3, blinkTask())
@@ -41,7 +51,6 @@ func NewPaperWorkload(hv *jailhouse.Hypervisor, cpu int) *Kernel {
 		k.CreateTask(taskName("int", i), 1, integerTask(i))
 	}
 	k.CreateTask("stats", 1, statsTask())
-	return k
 }
 
 // statsPeriod is the runtime-stats reporting interval in ticks (10 s).

@@ -77,6 +77,27 @@ func New(hv *jailhouse.Hypervisor) *Linux {
 // Name implements jailhouse.Inmate.
 func (l *Linux) Name() string { return "Linux-5.10-jailhouse" }
 
+// DeepReset restores the root-cell guest to its pre-boot power-on state
+// in place: not booted, not paniced, no managed cell, no background
+// activity and zeroed watchdog statistics. The background cancel
+// closures are dropped without being called — the engine reset that
+// accompanies a machine-level deep reset already invalidated their
+// events. The hypervisor binding survives; the next Boot replays the
+// identical bring-up.
+func (l *Linux) DeepReset() {
+	l.booted = false
+	l.paniced, l.panicWhy = false, ""
+	l.oopses = 0
+	for i := range l.cancelBg {
+		l.cancelBg[i] = nil
+	}
+	l.cancelBg = l.cancelBg[:0]
+	l.CellID = 0
+	l.StateQueries = 0
+	l.LastState = 0
+	l.LastStartAt = 0
+}
+
 // Panicked reports whether the root kernel died, and why.
 func (l *Linux) Panicked() (bool, string) { return l.paniced, l.panicWhy }
 

@@ -3,6 +3,8 @@ package memmap
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sort"
 )
 
 // pageSize is the allocation granule of the sparse RAM. 4 KiB matches the
@@ -130,3 +132,38 @@ func (m *RAM) Zero(addr uint64, n int) error {
 // PagesAllocated returns how many 4 KiB pages have been materialised;
 // useful for verifying that simulations stay sparse.
 func (m *RAM) PagesAllocated() int { return len(m.pages) }
+
+// Reset drops every materialised page, returning the RAM to its
+// power-on (all-zero) content. The page map itself stays allocated — the
+// warm machine-reuse path re-materialises the handful of pages a run
+// writes.
+func (m *RAM) Reset() { clear(m.pages) }
+
+// Digest folds the materialised content into a 64-bit FNV-1a hash,
+// visiting pages in ascending index order so the value is deterministic.
+// All-zero pages hash identically whether materialised or not, making
+// the digest a content fingerprint rather than an allocation fingerprint.
+func (m *RAM) Digest() uint64 {
+	idx := make([]uint64, 0, len(m.pages))
+	for page, p := range m.pages {
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			idx = append(idx, page)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, page := range idx {
+		binary.LittleEndian.PutUint64(buf[:], page)
+		h.Write(buf[:])
+		h.Write(m.pages[page])
+	}
+	return h.Sum64()
+}

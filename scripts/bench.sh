@@ -11,6 +11,10 @@
 #                                    # by side (BenchmarkFanoutCampaign's
 #                                    # runs_per_sec next to the hand-sharded
 #                                    # BenchmarkShardedCampaign baseline)
+#   scripts/bench.sh warm            # machine-reuse ladder: cold rebuild vs
+#                                    # per-worker warm scratch vs shared pool
+#                                    # (BenchmarkWarmMachineCampaign) next to
+#                                    # the BenchmarkCampaignThroughput anchor
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
 #   OUT=mybench.json scripts/bench.sh
 #
@@ -28,6 +32,8 @@ if [ "$PATTERN" = "sharded" ]; then
     PATTERN='ShardedCampaign'
 elif [ "$PATTERN" = "fanout" ]; then
     PATTERN='FanoutCampaign|ShardedCampaign'
+elif [ "$PATTERN" = "warm" ]; then
+    PATTERN='WarmMachineCampaign|CampaignThroughput'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -40,10 +46,13 @@ if [ -n "$UNFORMATTED" ]; then
     echo "$UNFORMATTED" >&2
     exit 1
 fi
-# The supervisor and the artefact layer are the concurrency-heavy
-# packages (worker goroutines, tail polling, shared JSONL writers): run
-# them under the race detector before archiving any measurement.
-go test -race -short ./internal/fanout ./internal/dist
+# The supervisor, the artefact layer and the warm machine pool are the
+# concurrency-heavy packages (worker goroutines, tail polling, shared
+# JSONL writers, concurrent pool Get/Put and the batched-flush timer):
+# run them under the race detector before archiving any measurement.
+# internal/core's -short pass keeps the full differential-determinism
+# plan × mode matrix while trimming the full-duration golden campaigns.
+go test -race -short ./internal/fanout ./internal/dist ./internal/core
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
 RAW="$(mktemp)"
