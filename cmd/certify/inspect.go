@@ -1,0 +1,293 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/dist"
+)
+
+// dossierView unifies the two inspectable shapes — one shard artefact
+// (dist.Dossier) and a whole campaign (dist.CampaignDossier) — behind
+// the queries the inspect subcommand answers.
+type dossierView interface {
+	Run(k int) (*dist.RunRecord, error)
+	RawRun(k int) ([]byte, error)
+	Entries() []dist.IndexEntry
+	OutcomeCounts() map[string]int
+	InjectionsTotal() int
+	Window() (start, end int)
+	Close() error
+}
+
+// openInspectTarget opens what the operator pointed inspect at: a
+// master index document (campaign), several shard artefacts
+// (campaign), or a single artefact (one dossier — which may be a whole
+// unsharded campaign or one shard of a larger one).
+func openInspectTarget(paths []string) (dossierView, string, error) {
+	switch {
+	case len(paths) == 1 && strings.HasSuffix(paths[0], ".json"):
+		cd, err := dist.OpenCampaignFromMaster(paths[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return cd, describeCampaign(cd), nil
+	case len(paths) == 1:
+		d, err := dist.OpenDossier(paths[0])
+		if err != nil {
+			return nil, "", err
+		}
+		return d, describeShard(d), nil
+	default:
+		cd, err := dist.OpenCampaignDossier(paths)
+		if err != nil {
+			return nil, "", err
+		}
+		return cd, describeCampaign(cd), nil
+	}
+}
+
+func describeShard(d *dist.Dossier) string {
+	m := d.Manifest()
+	access := "indexed"
+	if !d.Indexed() {
+		access = "sequential fallback (no readable index footer)"
+	}
+	state := "complete"
+	if !d.Complete() {
+		state = "INCOMPLETE"
+	}
+	return fmt.Sprintf("shard %d/%d of plan %s (hash %s), master seed %s, mode %s\nwindow [%d,%d), %d records, %s, access: %s",
+		m.Shard, m.Shards, m.Plan, m.PlanHash, m.MasterSeed, m.Mode,
+		m.Start, m.End, d.NumRuns(), state, access)
+}
+
+func describeCampaign(cd *dist.CampaignDossier) string {
+	shards := cd.Shards()
+	m := shards[0].Manifest()
+	indexed := 0
+	for _, d := range shards {
+		if d.Indexed() {
+			indexed++
+		}
+	}
+	return fmt.Sprintf("campaign of plan %s (hash %s), master seed %s, mode %s\n%d runs over %d shard artefacts (%d indexed)",
+		m.Plan, m.PlanHash, m.MasterSeed, m.Mode, cd.NumRuns(), len(shards), indexed)
+}
+
+// cmdInspect answers reviewer queries against archive dossiers: show
+// run K's evidence, list runs by outcome, per-outcome counts, compare
+// two dossiers run for run — all without a sequential scan when the
+// artefacts carry their index footer.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	runIdx := fs.Int("run", -1, "print run K's full evidence record")
+	outcome := fs.String("outcome", "", "list runs classified with this outcome (e.g. silent-degradation)")
+	compare := fs.String("compare", "", "compare against this dossier (artefact or master index) run for run")
+	raw := fs.Bool("raw", false, "with -run: print the raw JSONL record bytes as well")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("inspect needs a dossier: certify inspect runs.jsonl[.gz] | master-index.json | shard-*.jsonl")
+	}
+	d, desc, err := openInspectTarget(paths)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Println(desc)
+
+	switch {
+	case *runIdx >= 0:
+		return inspectRun(d, *runIdx, *raw)
+	case *outcome != "":
+		return inspectOutcome(d, *outcome)
+	case *compare != "":
+		return inspectCompare(d, *compare)
+	default:
+		printCounts(d)
+		return nil
+	}
+}
+
+// printCounts renders the per-outcome distribution from the index —
+// the reviewer's first question, answered without decoding a record.
+func printCounts(d dossierView) {
+	counts := d.OutcomeCounts()
+	total := 0
+	printed := make(map[string]bool, len(counts))
+	fmt.Println()
+	for _, o := range core.AllOutcomes() {
+		name := o.String()
+		if n := counts[name]; n > 0 {
+			fmt.Printf("  %-20s %6d\n", name, n)
+			printed[name] = true
+			total += n
+		}
+	}
+	for name, n := range counts {
+		if !printed[name] { // outcome names from a newer taxonomy
+			fmt.Printf("  %-20s %6d\n", name, n)
+			total += n
+		}
+	}
+	fmt.Printf("  %-20s %6d\n", "total", total)
+	fmt.Printf("  injections: %d", d.InjectionsTotal())
+	if mean, n := meanDetection(d.Entries()); n > 0 {
+		fmt.Printf(", mean detection latency: %v over %d detected runs", mean, n)
+	}
+	fmt.Println()
+}
+
+func meanDetection(entries []dist.IndexEntry) (time.Duration, int) {
+	var sum int64
+	n := 0
+	for _, e := range entries {
+		if e.DetectionNS >= 0 {
+			sum += e.DetectionNS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return time.Duration(sum / int64(n)), n
+}
+
+// inspectRun prints one run's full evidence record.
+func inspectRun(d dossierView, k int, raw bool) error {
+	rec, err := d.Run(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrun %d: %s\n", rec.Index, rec.Outcome)
+	fmt.Printf("  seed:              %s\n", rec.Seed)
+	fmt.Printf("  injections:        %d\n", rec.Injections)
+	fmt.Printf("  detection latency: %s\n", latencyString(rec.DetectionNS))
+	fmt.Printf("  horizon:           %v\n", time.Duration(rec.HorizonNS))
+	fmt.Printf("  cell lines:        %d\n", rec.CellLines)
+	fmt.Printf("  trace hash:        %s\n", rec.TraceHash)
+	for _, e := range rec.Evidence {
+		fmt.Println("  evidence:", e)
+	}
+	if rec.Root != "" {
+		fmt.Println("--- root console ---")
+		fmt.Print(rec.Root)
+	}
+	if rec.Cell != "" {
+		fmt.Println("--- cell console ---")
+		fmt.Print(rec.Cell)
+	}
+	if rec.Root == "" && rec.Cell == "" {
+		fmt.Println("  (no transcripts: shard ran in distribution mode)")
+	}
+	if raw {
+		line, err := d.RawRun(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- raw record ---\n%s\n", line)
+	}
+	return nil
+}
+
+func latencyString(ns int64) string {
+	if ns < 0 {
+		return "none (nothing detected)"
+	}
+	return time.Duration(ns).String()
+}
+
+// inspectOutcome lists every run classified with the given outcome.
+func inspectOutcome(d dossierView, outcome string) error {
+	counts := d.OutcomeCounts()
+	if counts[outcome] == 0 {
+		known := false
+		for _, o := range core.AllOutcomes() {
+			if o.String() == outcome {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown outcome %q (taxonomy: %s)", outcome, outcomeNames())
+		}
+		fmt.Printf("\nno %s runs\n", outcome)
+		return nil
+	}
+	fmt.Printf("\n%d %s run(s):\n", counts[outcome], outcome)
+	for _, e := range d.Entries() {
+		if e.Outcome != outcome {
+			continue
+		}
+		fmt.Printf("  run %-6d inj %-3d detection %-22s trace %#016x\n",
+			e.Index, e.Injections, latencyString(e.DetectionNS), e.TraceHash)
+	}
+	return nil
+}
+
+func outcomeNames() string {
+	var names []string
+	for _, o := range core.AllOutcomes() {
+		names = append(names, o.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// inspectCompare holds two dossiers against each other run for run:
+// same run set, same outcome, trace hash, injection count and
+// detection latency per run. Divergence is an error — this is the
+// check a reviewer runs to confirm two evidence paths (plain vs gzip,
+// sharded vs serial, two independent reproductions) agree.
+func inspectCompare(d dossierView, target string) error {
+	other, desc, err := openInspectTarget([]string{target})
+	if err != nil {
+		return err
+	}
+	defer other.Close()
+	fmt.Println("--- against ---")
+	fmt.Println(desc)
+
+	a, b := d.Entries(), other.Entries()
+	byIndex := make(map[int]dist.IndexEntry, len(b))
+	for _, e := range b {
+		byIndex[e.Index] = e
+	}
+	diverged := 0
+	report := func(format string, args ...any) {
+		if diverged <= 10 {
+			fmt.Printf(format, args...)
+		}
+		diverged++
+	}
+	for _, e := range a {
+		o, ok := byIndex[e.Index]
+		if !ok {
+			report("  run %d: missing from %s\n", e.Index, target)
+			continue
+		}
+		delete(byIndex, e.Index)
+		switch {
+		case e.Outcome != o.Outcome:
+			report("  run %d: outcome %s vs %s\n", e.Index, e.Outcome, o.Outcome)
+		case e.TraceHash != o.TraceHash:
+			report("  run %d: trace hash %#x vs %#x\n", e.Index, e.TraceHash, o.TraceHash)
+		case e.Injections != o.Injections:
+			report("  run %d: %d vs %d injections\n", e.Index, e.Injections, o.Injections)
+		case e.DetectionNS != o.DetectionNS:
+			report("  run %d: detection %s vs %s\n", e.Index, latencyString(e.DetectionNS), latencyString(o.DetectionNS))
+		}
+	}
+	for k := range byIndex {
+		report("  run %d: only in %s\n", k, target)
+	}
+	if diverged > 0 {
+		return fmt.Errorf("dossiers diverge on %d run(s)", diverged)
+	}
+	fmt.Printf("\ndossiers agree run for run (%d runs: outcomes, trace hashes, injections, detection latencies)\n", len(a))
+	return nil
+}

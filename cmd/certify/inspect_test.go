@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer —
+// the inspect subcommand's answers are its stdout.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	return out, ferr
+}
+
+// inspectFixture runs one small sharded campaign and returns the
+// shard artefact paths plus a written master index.
+func inspectFixture(t *testing.T) (dir string, shards []string, master string) {
+	t.Helper()
+	dir = t.TempDir()
+	plan := shortPlanFile(t)
+	shards = []string{
+		filepath.Join(dir, "shard-0.jsonl"),
+		filepath.Join(dir, "shard-1.jsonl.gz"),
+	}
+	for i, p := range shards {
+		args := []string{"-planfile", plan, "-runs", "6", "-seed", "5",
+			"-mode", "distribution", "-shards", "2",
+			"-shard-index", fmt.Sprint(i), "-out", p}
+		if err := cmdCampaign(args); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	master = filepath.Join(dir, "master-index.json")
+	if err := cmdMerge([]string{"-index", master, shards[0], shards[1]}); err != nil {
+		t.Fatalf("merge -index: %v", err)
+	}
+	return dir, shards, master
+}
+
+func TestCmdInspect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign")
+	}
+	_, shards, master := inspectFixture(t)
+
+	t.Run("counts-single-shard", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{shards[0]}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"shard 0/2", "access: indexed", "total", "injections:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("inspect output lacks %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("counts-master-index", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{master}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "6 runs over 2 shard artefacts (2 indexed)") {
+			t.Fatalf("campaign header missing:\n%s", out)
+		}
+	})
+
+	t.Run("counts-shard-set", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect(shards) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "6 runs over 2 shard artefacts") {
+			t.Fatalf("campaign header missing:\n%s", out)
+		}
+	})
+
+	t.Run("run", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{"-run", "4", "-raw", master}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"run 4:", "seed:", "trace hash:", "--- raw record ---", `"index":4`} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("inspect -run output lacks %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("run-out-of-range", func(t *testing.T) {
+		if _, err := captureStdout(t, func() error { return cmdInspect([]string{"-run", "99", master}) }); err == nil {
+			t.Fatal("run index past the campaign accepted")
+		}
+	})
+
+	t.Run("outcome", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{"-outcome", "correct", master}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "correct run(s):") {
+			t.Fatalf("inspect -outcome output:\n%s", out)
+		}
+	})
+
+	t.Run("outcome-unknown", func(t *testing.T) {
+		if _, err := captureStdout(t, func() error { return cmdInspect([]string{"-outcome", "exploded", master}) }); err == nil ||
+			!strings.Contains(err.Error(), "unknown outcome") {
+			t.Fatalf("unknown outcome error = %v", err)
+		}
+	})
+
+	t.Run("compare-agrees", func(t *testing.T) {
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{"-compare", shards[1], shards[1]}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "dossiers agree run for run") {
+			t.Fatalf("self-compare output:\n%s", out)
+		}
+	})
+
+	t.Run("compare-diverges", func(t *testing.T) {
+		// A shorter campaign misses runs 4 and 5: the comparison must
+		// name the divergence and exit non-zero.
+		plan := shortPlanFile(t)
+		other := filepath.Join(t.TempDir(), "other.jsonl")
+		if err := cmdCampaign([]string{"-planfile", plan, "-runs", "4", "-seed", "5",
+			"-mode", "distribution", "-out", other}); err != nil {
+			t.Fatal(err)
+		}
+		out, err := captureStdout(t, func() error { return cmdInspect([]string{"-compare", other, master}) })
+		if err == nil || !strings.Contains(err.Error(), "diverge") {
+			t.Fatalf("divergent compare error = %v", err)
+		}
+		if !strings.Contains(out, "missing from") {
+			t.Fatalf("divergence report lacks the missing runs:\n%s", out)
+		}
+	})
+
+	t.Run("no-args", func(t *testing.T) {
+		if err := cmdInspect(nil); err == nil {
+			t.Fatal("inspect without a dossier accepted")
+		}
+	})
+}
+
+// TestCmdInspectGoldenSeed2022 pins the reviewer-facing acceptance
+// path end to end: the golden E3 campaign written as an artefact,
+// inspected with `certify inspect` — per-outcome counts reproduce the
+// paper's pinned 23 correct / 1 inconsistent / 16 panic-park split
+// with 56 injections, straight from the index footer.
+func TestCmdInspectGoldenSeed2022(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration campaign")
+	}
+	path := filepath.Join(t.TempDir(), "golden.jsonl.gz")
+	if err := cmdCampaign([]string{"-plan", "E3-fig3", "-runs", "40", "-seed", "2022",
+		"-mode", "distribution", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return cmdInspect([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("  %-20s %6d\n", "correct", 23),
+		fmt.Sprintf("  %-20s %6d\n", "inconsistent", 1),
+		fmt.Sprintf("  %-20s %6d\n", "panic-park", 16),
+		fmt.Sprintf("  %-20s %6d\n", "total", 40),
+		"injections: 56",
+		"access: indexed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("golden inspect output lacks %q:\n%s", want, out)
+		}
+	}
+	// The single silent-data-corruption-adjacent class of the golden
+	// campaign: exactly one inconsistent run, listed by the index.
+	out, err = captureStdout(t, func() error { return cmdInspect([]string{"-outcome", "inconsistent", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 inconsistent run(s):") {
+		t.Fatalf("golden -outcome inconsistent output:\n%s", out)
+	}
+}

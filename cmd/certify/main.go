@@ -12,7 +12,9 @@
 //	certify fanout   [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
 //	                 [-shards K] [-parallel P] [-retries R] [-dir DIR]
 //	                 [-gzip] [-stall 2m] [-csv] [-ci]
-//	certify merge    [-csv] [-ci] shard-*.jsonl[.gz]
+//	certify merge    [-csv] [-ci] [-index master-index.json] shard-*.jsonl[.gz]
+//	certify inspect  [-run K] [-outcome NAME] [-compare TARGET] [-raw]
+//	                 runs.jsonl[.gz] | master-index.json | shard-*.jsonl[.gz]
 //	certify report   [-runs 30] [-seed N]
 //	certify plans
 //
@@ -32,6 +34,14 @@
 // fanout.json next to the shard artefacts, and auto-merges on
 // completion — the same bit-identical aggregate, without hand-launching
 // K processes and a merge.
+//
+// Every artefact is a self-indexed dossier: the writer appends an
+// index footer (run offsets, outcomes, trace hashes, detection
+// latencies) that "certify inspect" uses to answer reviewer queries —
+// run K's evidence, all silent-degradation runs, per-outcome counts, a
+// run-for-run comparison of two dossiers — in O(1) seeks instead of an
+// archive scan. Pre-index artefacts and corrupted footers degrade to a
+// sequential read with identical answers.
 package main
 
 import (
@@ -87,6 +97,8 @@ func run(args []string) error {
 		return cmdFanoutWorker(args[1:])
 	case "merge":
 		return cmdMerge(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
 	case "report":
 		return cmdReport(args[1:])
 	case "plans":
@@ -109,6 +121,8 @@ subcommands:
   fanout     supervise a sharded campaign end to end: spawn K shard workers,
              restart crashed/stalled ones, auto-merge, write fanout.json
   merge      verify and fold shard JSONL artefacts into one campaign result
+  inspect    query archive dossiers without scanning them: run K's evidence,
+             runs by outcome, per-outcome counts, compare two dossiers
   report     run the standard campaigns and emit the SEooC dossier
   plans      list the built-in test plans`)
 }
@@ -375,6 +389,7 @@ func cmdMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
+	index := fs.String("index", "", "also compose the shard footers into a master index document at this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -389,6 +404,12 @@ func cmdMerge(args []string) error {
 	first := shards[0].Manifest
 	fmt.Printf("merged %d shards, %d runs, plan %s (hash %s), master seed %s\n",
 		len(shards), res.Total(), first.Plan, first.PlanHash, first.MasterSeed)
+	if *index != "" {
+		if _, err := dist.WriteMasterIndexFile(*index, paths); err != nil {
+			return err
+		}
+		fmt.Printf("master index: %s (inspect with 'certify inspect %s')\n", *index, *index)
+	}
 	cf := &campaignFlags{csv: *csv, ci: *ci}
 	cf.plan = &core.TestPlan{Name: first.Plan}
 	printDistribution(cf, res)

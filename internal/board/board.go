@@ -100,6 +100,12 @@ type Options struct {
 	// NoByteCapture disables the UARTs' raw transmitted-byte logs (line
 	// capture is unaffected). Distribution-mode campaigns set this.
 	NoByteCapture bool
+	// TraceRecordHint/TraceArgHint pre-size the engine trace's arenas
+	// (sim.Trace.Grow) — the plan-profile capacity estimate. Zero means
+	// no pre-sizing; a reused engine that already grew past the hint is
+	// unaffected.
+	TraceRecordHint int
+	TraceArgHint    int
 }
 
 // New builds a powered-on board with the given deterministic seed.
@@ -120,6 +126,7 @@ func NewWithOptions(seed uint64, opts Options) *Board {
 		s.Engine.Reset(seed)
 	}
 	eng := s.Engine
+	eng.Trace().Grow(opts.TraceRecordHint, opts.TraceArgHint)
 	if s.UART0 == nil {
 		s.UART0 = uart.New("uart0", eng.Now)
 	} else {
@@ -179,6 +186,7 @@ func NewWithOptions(seed uint64, opts Options) *Board {
 // suite in internal/core holds it to that).
 func (b *Board) DeepReset(seed uint64, opts Options) {
 	b.Engine.Reset(seed)
+	b.Engine.Trace().Grow(opts.TraceRecordHint, opts.TraceArgHint)
 	b.UART0.Reset("uart0", b.Engine.Now)
 	b.UART7.Reset("uart7", b.Engine.Now)
 	b.UART0.SetCaptureBytes(!opts.NoByteCapture)

@@ -65,6 +65,11 @@ type MachineOptions struct {
 	// LeanCapture disables the UARTs' raw byte logs; line capture (the
 	// classifier's channel) is unaffected. Set by Distribution mode.
 	LeanCapture bool
+	// TraceRecords/TraceArgs pre-size the engine's trace arenas — the
+	// plan-profile hint from TraceBudget. Zero leaves the arenas to
+	// grow by appending; campaign runs set both via RunExperimentOpts.
+	TraceRecords int
+	TraceArgs    int
 }
 
 // RunScratch carries the reusable state one campaign worker threads
@@ -91,7 +96,11 @@ func DefaultMachineOptions(seed uint64) MachineOptions {
 // hypervisor enable, FreeRTOS cell create/load/start. The returned
 // machine is ready for its engine to run the experiment horizon.
 func BuildMachine(opts MachineOptions) (*Machine, error) {
-	bopts := board.Options{NoByteCapture: opts.LeanCapture}
+	bopts := board.Options{
+		NoByteCapture:   opts.LeanCapture,
+		TraceRecordHint: opts.TraceRecords,
+		TraceArgHint:    opts.TraceArgs,
+	}
 	if opts.Scratch != nil {
 		bopts.Scratch = &opts.Scratch.board
 	}
@@ -116,7 +125,11 @@ func BuildMachine(opts MachineOptions) (*Machine, error) {
 //
 // opts.Scratch is ignored: a warm machine recycles its own buffers.
 func (m *Machine) DeepReset(opts MachineOptions) error {
-	m.Board.DeepReset(opts.Seed, board.Options{NoByteCapture: opts.LeanCapture})
+	m.Board.DeepReset(opts.Seed, board.Options{
+		NoByteCapture:   opts.LeanCapture,
+		TraceRecordHint: opts.TraceRecords,
+		TraceArgHint:    opts.TraceArgs,
+	})
 	m.HV.DeepReset()
 	m.Linux.DeepReset()
 	m.RTOS = nil

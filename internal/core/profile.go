@@ -83,6 +83,34 @@ func DefaultProfile() *SensitivityProfile {
 	}
 }
 
+// Trace arena profile. The simulated stack emits trace records at a
+// rate dominated by the periodic machinery (scheduler ticks, UART
+// lines, state-watchdog probes, IRQ traffic), measured at ~1.0–1.3k
+// records/virtual-second across the paper's plans with ~2 deferred
+// format arguments per record. The budget below over-provisions that
+// steady-state rate slightly so one up-front arena allocation covers a
+// whole run — closing the PR 1 leftover of pre-sizing the trace record
+// arena from a profile of the plan instead of growing it by doubling
+// while the run streams events.
+const (
+	// traceRecordsPerSecond is the provisioning rate per virtual second.
+	traceRecordsPerSecond = 1400
+	// traceArgsPerRecord sizes the deferred-format argument arena.
+	traceArgsPerRecord = 2
+	// traceBudgetSlack covers boot records and short-horizon variance.
+	traceBudgetSlack = 4096
+)
+
+// TraceBudget estimates the trace arena a run of the plan needs:
+// record and argument capacities derived from the plan's effective
+// duration. The estimate is a capacity hint, never a cap — a run that
+// outgrows it just falls back to append growth.
+func TraceBudget(plan *TestPlan) (records, args int) {
+	secs := int(plan.EffectiveDuration()/sim.Second) + 1
+	records = secs*traceRecordsPerSecond + traceBudgetSlack
+	return records, records * traceArgsPerRecord
+}
+
 // table selects the liveness table for an injection at the given point,
 // using the pre-injection syndrome to judge handler depth.
 func (p *SensitivityProfile) table(point jailhouse.InjectionPoint, hsrAtEntry uint32) map[armv7.Field]float64 {

@@ -83,6 +83,10 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 		return nil, err
 	}
 	opts := MachineOptions{Seed: seed, StateWatchdog: true}
+	// Pre-size the trace arenas from the plan profile: one allocation
+	// per arena up front instead of a doubling cascade during the run.
+	// Reused machines (scratch, pool) keep their grown arenas either way.
+	opts.TraceRecords, opts.TraceArgs = TraceBudget(plan)
 	if ro.Mode == ModeDistribution {
 		opts.LeanCapture = true
 	}

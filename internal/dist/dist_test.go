@@ -67,6 +67,27 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
+// stripIndexFooter rewrites a plain artefact without its index footer
+// block — the pre-index layout, which the byte-editing tests below
+// manipulate line by line (the binary footer is not line-structured).
+func stripIndexFooter(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < plainTrailerSize {
+		t.Fatalf("%s: too short to carry an index trailer", path)
+	}
+	footOff, _, ok := parsePlainTrailer(data[len(data)-plainTrailerSize:])
+	if !ok {
+		t.Fatalf("%s: no index trailer to strip", path)
+	}
+	if err := os.WriteFile(path, data[:footOff], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // serialReference runs the unsharded campaign, collecting the per-run
 // trace hashes the streaming hook sees.
 func serialReference(t *testing.T, plan *core.TestPlan, runs int, seed uint64, mode core.CampaignMode) (*core.CampaignResult, map[int]uint64) {
@@ -273,7 +294,9 @@ func TestExecuteShardResume(t *testing.T) {
 			again.Total(), again.InjectionsTotal(), first.Total(), first.InjectionsTotal())
 	}
 
-	// Simulate a crash: drop the summary footer (and a record).
+	// Simulate a crash: drop the summary footer (and a record). The
+	// index footer goes first — a crashed writer never wrote one.
+	stripIndexFooter(t, path)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -372,7 +395,10 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 		t.Errorf("cross-campaign merge not reported: %v", err)
 	}
 
-	// An incomplete shard must be named.
+	// An incomplete shard must be named. (Strip the index footer first
+	// so the line surgery below edits the record stream, not the binary
+	// footer a complete artefact now ends with.)
+	stripIndexFooter(t, paths[1])
 	data, err := os.ReadFile(paths[1])
 	if err != nil {
 		t.Fatal(err)

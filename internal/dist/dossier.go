@@ -1,0 +1,552 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Dossier is the random-access view of one shard artefact: run K's
+// record, outcome queries and range reads without a sequential scan.
+// The fast path reads the index footer CreateJSONL appends (O(1) seeks
+// to locate it, one bounded read per record after that); artefacts
+// written before the index existed, or whose footer is missing, torn
+// or fails verification, degrade transparently to one sequential
+// decode whose results are cached — same answers, archive-scan cost.
+//
+// A Dossier is not goroutine-safe: it keeps per-handle read state (the
+// fallback cache, the read counter). Open one per goroutine.
+type Dossier struct {
+	path string
+	f    *os.File
+	size int64
+	gz   bool
+	man  Manifest
+
+	// entries is the offset table sorted by run index — footer-decoded
+	// on the indexed path, rebuilt by the sequential scan on fallback.
+	entries []IndexEntry
+	// footerRestarts is the gzip restart table (indexed path only).
+	footerRestarts []restart
+	// indexed is true while record reads go through footer offsets.
+	indexed bool
+	summary bool
+	// raw caches record lines (without trailing newline) by run index
+	// once a *gzip* dossier has degraded to the sequential path — gzip
+	// cannot be re-read at an offset without the restart table. Plain
+	// fallbacks stay lean: the scan only records each line's span and
+	// record reads are positioned re-reads, so counts-only queries on
+	// an archive-scale pre-index artefact never hold its records in
+	// memory.
+	raw map[int][]byte
+
+	reads int64 // ReadAt calls served, for access-cost assertions
+}
+
+// OpenDossier opens the artefact at path for random access. The file
+// must carry a readable manifest line (anything else is not a shard
+// artefact and errors, exactly as ReadShard would); everything about
+// the index footer is best-effort — Indexed reports which path serves.
+func OpenDossier(path string) (*Dossier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d := &Dossier{path: path, f: f, size: st.Size()}
+	var magic [2]byte
+	if n, _ := d.ReadAt(magic[:], 0); n == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		d.gz = true
+	}
+	if err := d.readManifest(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if ix, err := d.loadFooter(); err == nil {
+		if verr := d.adoptIndex(ix); verr == nil {
+			return d, nil
+		}
+	}
+	if err := d.degrade(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadAt serves every file access of the dossier, counting calls so
+// tests can assert the indexed path's O(1) cost. Implements io.ReaderAt.
+func (d *Dossier) ReadAt(p []byte, off int64) (int, error) {
+	d.reads++
+	return d.f.ReadAt(p, off)
+}
+
+// Reads returns how many file reads the dossier has performed.
+func (d *Dossier) Reads() int64 { return d.reads }
+
+// Close releases the underlying file.
+func (d *Dossier) Close() error { return d.f.Close() }
+
+// Path returns the artefact path the dossier serves.
+func (d *Dossier) Path() string { return d.path }
+
+// Manifest returns the artefact's identity header.
+func (d *Dossier) Manifest() Manifest { return d.man }
+
+// Indexed reports whether record reads use the index footer (true) or
+// the cached sequential decode (false).
+func (d *Dossier) Indexed() bool { return d.indexed }
+
+// Complete reports whether the artefact holds its summary marker and
+// one record for every run of its window — the same completion
+// predicate ReadShard applies.
+func (d *Dossier) Complete() bool {
+	return d.summary && len(d.entries) == d.man.End-d.man.Start
+}
+
+// NumRuns returns how many run records the dossier holds.
+func (d *Dossier) NumRuns() int { return len(d.entries) }
+
+// Window returns the artefact's global run-index window [start, end).
+func (d *Dossier) Window() (start, end int) { return d.man.Start, d.man.End }
+
+// Entries returns the offset table sorted by run index. The slice is
+// the dossier's own — treat it as read-only.
+func (d *Dossier) Entries() []IndexEntry { return d.entries }
+
+// OutcomeCounts tallies records per outcome name straight from the
+// index — no record decoding.
+func (d *Dossier) OutcomeCounts() map[string]int {
+	out := make(map[string]int, 8)
+	for _, e := range d.entries {
+		out[e.Outcome]++
+	}
+	return out
+}
+
+// InjectionsTotal sums performed injections across the indexed runs.
+func (d *Dossier) InjectionsTotal() int {
+	n := 0
+	for _, e := range d.entries {
+		n += e.Injections
+	}
+	return n
+}
+
+// Entry returns run k's index row.
+func (d *Dossier) Entry(k int) (IndexEntry, bool) {
+	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].Index >= k })
+	if i < len(d.entries) && d.entries[i].Index == k {
+		return d.entries[i], true
+	}
+	return IndexEntry{}, false
+}
+
+// RawRun returns run k's record line exactly as written (without the
+// trailing newline) — the byte-identity the differential equivalence
+// suite compares against the sequential decode. An indexed read whose
+// bytes do not decode to run k degrades to the sequential path and
+// retries there instead of misattributing a record.
+func (d *Dossier) RawRun(k int) ([]byte, error) {
+	e, ok := d.Entry(k)
+	if !ok {
+		return nil, fmt.Errorf("dist: %s holds no record for run %d", d.path, k)
+	}
+	if !d.indexed {
+		if d.gz {
+			return d.raw[k], nil
+		}
+		// Plain fallback: re-read the span the sequential scan recorded.
+		line, err := d.readPlainSpanLenient(e)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %s run %d: %w", d.path, k, err)
+		}
+		if !verifyRunLine(line, k) {
+			return nil, fmt.Errorf("dist: %s changed underneath the dossier: run %d's bytes no longer decode", d.path, k)
+		}
+		return line, nil
+	}
+	line, err := d.readSpan(e)
+	if err == nil && verifyRunLine(line, k) {
+		return line, nil
+	}
+	// The footer lied (bad offset, mid-write corruption): abandon it.
+	if derr := d.degrade(); derr != nil {
+		return nil, fmt.Errorf("dist: %s: indexed read of run %d failed (%v) and sequential fallback too: %w", d.path, k, err, derr)
+	}
+	line, ok = d.raw[k]
+	if !ok {
+		return nil, fmt.Errorf("dist: %s holds no record for run %d", d.path, k)
+	}
+	return line, nil
+}
+
+// verifyRunLine checks that a line read through the index really is
+// run k's record before anyone trusts it.
+func verifyRunLine(line []byte, k int) bool {
+	var probe struct {
+		Type  string `json:"type"`
+		Index int    `json:"index"`
+	}
+	return json.Unmarshal(line, &probe) == nil &&
+		probe.Type == recordRun && probe.Index == k
+}
+
+// Run returns run k's decoded record.
+func (d *Dossier) Run(k int) (*RunRecord, error) {
+	line, err := d.RawRun(k)
+	if err != nil {
+		return nil, err
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("dist: %s run %d: %w", d.path, k, err)
+	}
+	return &rec, nil
+}
+
+// Runs returns the decoded records with global indices in [from, to),
+// in index order. Indices outside the dossier's holdings are skipped —
+// a range read over a half-window artefact returns what is there.
+func (d *Dossier) Runs(from, to int) ([]*RunRecord, error) {
+	var out []*RunRecord
+	for _, e := range d.entries {
+		if e.Index < from || e.Index >= to {
+			continue
+		}
+		rec, err := d.Run(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ByOutcome returns the decoded records classified with the given
+// outcome name, in index order.
+func (d *Dossier) ByOutcome(outcome string) ([]*RunRecord, error) {
+	var out []*RunRecord
+	for _, e := range d.entries {
+		if e.Outcome != outcome {
+			continue
+		}
+		rec, err := d.Run(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// readSpan reads the line at entry e through the index: one positioned
+// read for plain artefacts; for gzip, a seek to the nearest restart
+// offset at or before the line and a bounded decode from there. Cost
+// is independent of the artefact's total size.
+func (d *Dossier) readSpan(e IndexEntry) ([]byte, error) {
+	if e.Length <= 0 || e.Length > maxLineBytes {
+		return nil, fmt.Errorf("dist: index entry spans %d bytes", e.Length)
+	}
+	if !d.gz {
+		if e.Offset+int64(e.Length) > d.size {
+			return nil, fmt.Errorf("dist: index entry [%d,+%d) beyond file size %d", e.Offset, e.Length, d.size)
+		}
+		buf := make([]byte, e.Length)
+		if _, err := io.ReadFull(io.NewSectionReader(d, e.Offset, int64(e.Length)), buf); err != nil {
+			return nil, err
+		}
+		return bytes.TrimSuffix(buf, []byte("\n")), nil
+	}
+	ix, err := d.restartFor(e.Offset)
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(bufio.NewReaderSize(io.NewSectionReader(d, ix.comp, d.size-ix.comp), 32<<10))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	zr.Multistream(false) // the whole line lives inside this member
+	if _, err := io.CopyN(io.Discard, zr, e.Offset-ix.uncomp); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, e.Length)
+	if _, err := io.ReadFull(zr, buf); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSuffix(buf, []byte("\n")), nil
+}
+
+// readPlainSpanLenient reads a plain-file span recorded by the
+// fallback scan, tolerating a final record line that was never
+// newline-terminated (a torn tail whose JSON still parsed): the span
+// may overshoot the file end by the phantom newline, so a short read
+// at EOF is fine.
+func (d *Dossier) readPlainSpanLenient(e IndexEntry) ([]byte, error) {
+	if e.Length <= 0 || e.Length > maxLineBytes {
+		return nil, fmt.Errorf("dist: index entry spans %d bytes", e.Length)
+	}
+	buf := make([]byte, e.Length)
+	n, err := d.ReadAt(buf, e.Offset)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return bytes.TrimSuffix(buf[:n], []byte("\n")), nil
+}
+
+// restartFor returns the latest gzip restart point at or before
+// uncompressed offset off.
+func (d *Dossier) restartFor(off int64) (restart, error) {
+	rs := d.footerRestarts
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].uncomp > off })
+	if i == 0 {
+		return restart{}, fmt.Errorf("dist: no restart point covers offset %d", off)
+	}
+	return rs[i-1], nil
+}
+
+// readManifest decodes the artefact's first line, with the same
+// validation ReadShard applies.
+func (d *Dossier) readManifest() error {
+	r, _, err := openLineReader(io.NewSectionReader(d, 0, d.size), d.gz, d.path)
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4<<10), maxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("dist: %s: %w", d.path, err)
+		}
+		return fmt.Errorf("dist: %s is empty (no manifest line)", d.path)
+	}
+	var m Manifest
+	if err := json.Unmarshal(sc.Bytes(), &m); err != nil || m.Type != recordManifest {
+		return fmt.Errorf("dist: %s does not start with a manifest line", d.path)
+	}
+	if err := validateManifest(d.path, m); err != nil {
+		return err
+	}
+	d.man = m
+	return nil
+}
+
+// loadFooter locates, reads and parses the index footer. Every failure
+// is an error the caller answers with the sequential fallback.
+func (d *Dossier) loadFooter() (*shardIndex, error) {
+	if d.gz {
+		return d.loadGzipFooter()
+	}
+	if d.size < plainTrailerSize+int64(len(footerMagic))+4 {
+		return nil, fmt.Errorf("dist: %s is too small for a footer", d.path)
+	}
+	tail := make([]byte, plainTrailerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(d, d.size-plainTrailerSize, plainTrailerSize), tail); err != nil {
+		return nil, err
+	}
+	footOff, footLen, ok := parsePlainTrailer(tail)
+	if !ok {
+		return nil, fmt.Errorf("dist: %s carries no index trailer", d.path)
+	}
+	if footOff+footLen+plainTrailerSize != d.size {
+		return nil, fmt.Errorf("dist: %s trailer places the footer at [%d,+%d), file is %d bytes", d.path, footOff, footLen, d.size)
+	}
+	block := make([]byte, footLen)
+	if _, err := io.ReadFull(io.NewSectionReader(d, footOff, footLen), block); err != nil {
+		return nil, err
+	}
+	return parseFooter(block)
+}
+
+// maxFooterMemberBytes bounds the compressed footer member a reader
+// will buffer — corrupt trailer fields must not allocate the file size.
+const maxFooterMemberBytes = 1 << 30
+
+func (d *Dossier) loadGzipFooter() (*shardIndex, error) {
+	if d.size < gzipTrailerSize {
+		return nil, fmt.Errorf("dist: %s is too small for a trailer member", d.path)
+	}
+	tail := make([]byte, gzipTrailerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(d, d.size-gzipTrailerSize, gzipTrailerSize), tail); err != nil {
+		return nil, err
+	}
+	footOff, footLen, ok := parseGzipTrailer(tail)
+	if !ok {
+		return nil, fmt.Errorf("dist: %s carries no index trailer member", d.path)
+	}
+	if footLen > maxFooterMemberBytes || footOff+footLen+gzipTrailerSize != d.size {
+		return nil, fmt.Errorf("dist: %s trailer places the footer member at [%d,+%d), file is %d bytes", d.path, footOff, footLen, d.size)
+	}
+	zr, err := gzip.NewReader(io.NewSectionReader(d, footOff, footLen))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	zr.Multistream(false)
+	block, err := io.ReadAll(io.LimitReader(zr, maxFooterMemberBytes))
+	if err != nil {
+		return nil, err
+	}
+	return parseFooter(block)
+}
+
+// adoptIndex installs a parsed footer after validating it against the
+// manifest: indices inside the window, unique (parseFooter enforces
+// order), spans inside the file for plain artefacts, restart points
+// present for gzip ones.
+func (d *Dossier) adoptIndex(ix *shardIndex) error {
+	dataEnd := d.size
+	if !d.gz {
+		// footer + trailer verified to end the file in loadFooter
+		dataEnd = d.size - plainTrailerSize
+	}
+	for _, e := range ix.entries {
+		if e.Index < d.man.Start || e.Index >= d.man.End {
+			return fmt.Errorf("dist: footer entry %d outside window [%d,%d)", e.Index, d.man.Start, d.man.End)
+		}
+		if !d.gz && e.Offset+int64(e.Length) > dataEnd {
+			return fmt.Errorf("dist: footer entry %d spans beyond the line stream", e.Index)
+		}
+	}
+	if d.gz {
+		if len(ix.restarts) == 0 || ix.restarts[0].comp != 0 || ix.restarts[0].uncomp != 0 {
+			return fmt.Errorf("dist: gzip footer lacks a leading restart point")
+		}
+		for i := 1; i < len(ix.restarts); i++ {
+			if ix.restarts[i].comp <= ix.restarts[i-1].comp || ix.restarts[i].uncomp <= ix.restarts[i-1].uncomp {
+				return fmt.Errorf("dist: gzip footer restart points not increasing")
+			}
+			if ix.restarts[i].comp >= d.size {
+				return fmt.Errorf("dist: gzip footer restart point beyond the file")
+			}
+		}
+	}
+	d.entries = ix.entries
+	d.footerRestarts = ix.restarts
+	d.summary = ix.summary
+	d.indexed = true
+	return nil
+}
+
+// degrade abandons the indexed path and rebuilds the entry table from
+// one tolerant sequential decode — the behaviour for pre-index
+// artefacts, torn footers, and any indexed read that failed
+// verification. Plain files keep only the spans (records are re-read
+// positioned on demand); gzip files additionally cache the raw lines,
+// since a gzip stream cannot be re-entered without restart points.
+// Torn tails (crashed writers) are tolerated exactly as ReadShard
+// tolerates them; only a file whose records are structurally invalid
+// errors.
+func (d *Dossier) degrade() error {
+	d.indexed = false
+	d.entries = nil
+	d.footerRestarts = nil
+	d.summary = false
+	d.raw = nil
+	if d.gz {
+		d.raw = make(map[int][]byte)
+	}
+
+	r, compressed, err := openLineReader(io.NewSectionReader(d, 0, d.size), d.gz, d.path)
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	seen := make(map[int]bool)
+	var off int64
+	line := 0
+	for sc.Scan() {
+		line++
+		tok := sc.Bytes()
+		start := off
+		off += int64(len(tok)) + 1
+		var probe struct {
+			Type  string `json:"type"`
+			Index int    `json:"index"`
+		}
+		if err := json.Unmarshal(tok, &probe); err != nil {
+			break // footer block or torn trailing line: line data ends here
+		}
+		switch probe.Type {
+		case recordManifest:
+			// the header; already decoded by readManifest
+		case recordRun:
+			if probe.Index < d.man.Start || probe.Index >= d.man.End {
+				return fmt.Errorf("dist: %s line %d: run index %d outside shard window [%d,%d)",
+					d.path, line, probe.Index, d.man.Start, d.man.End)
+			}
+			if seen[probe.Index] {
+				return fmt.Errorf("dist: %s line %d: duplicate run index %d", d.path, line, probe.Index)
+			}
+			seen[probe.Index] = true
+			var rec RunRecord
+			if err := json.Unmarshal(tok, &rec); err != nil {
+				return fmt.Errorf("dist: %s line %d: %w", d.path, line, err)
+			}
+			hash, err := parseHex(rec.TraceHash)
+			if err != nil {
+				return fmt.Errorf("dist: %s line %d: bad trace hash %q", d.path, line, rec.TraceHash)
+			}
+			if d.gz {
+				d.raw[probe.Index] = append([]byte(nil), tok...)
+			}
+			d.entries = append(d.entries, IndexEntry{
+				Index:       rec.Index,
+				Offset:      start,
+				Length:      len(tok) + 1,
+				Outcome:     rec.Outcome,
+				Injections:  rec.Injections,
+				TraceHash:   hash,
+				DetectionNS: rec.DetectionNS,
+			})
+		case recordSummary:
+			d.summary = true
+		default:
+			return fmt.Errorf("dist: %s line %d: unknown record type %q", d.path, line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil && !(compressed && tornGzip(err)) {
+		return fmt.Errorf("dist: %s: %w", d.path, err)
+	}
+	sort.Slice(d.entries, func(i, j int) bool { return d.entries[i].Index < d.entries[j].Index })
+	return nil
+}
+
+// openLineReader wraps r for line scanning, decompressing when the
+// content is gzip — the ReaderAt-based twin of openShardReader.
+func openLineReader(r io.Reader, isGzip bool, path string) (io.Reader, bool, error) {
+	if !isGzip {
+		return r, false, nil
+	}
+	zr, err := gzip.NewReader(bufio.NewReaderSize(r, 64<<10))
+	if err != nil {
+		return nil, false, fmt.Errorf("dist: %s: bad gzip header (%v): %w", path, err, ErrTorn)
+	}
+	return zr, true, nil
+}
+
+// validateManifest applies the manifest sanity checks both read paths
+// share — ReadShard's sequential decode and the dossier opener.
+func validateManifest(path string, m Manifest) error {
+	if m.Schema > SchemaVersion {
+		return fmt.Errorf("dist: %s uses schema %d, this build reads up to %d", path, m.Schema, SchemaVersion)
+	}
+	if m.Runs <= 0 || m.Shards <= 0 || m.Shard < 0 || m.Shard >= m.Shards {
+		return fmt.Errorf("dist: %s manifest declares shard %d of %d over %d runs — inconsistent", path, m.Shard, m.Shards, m.Runs)
+	}
+	if m.Start < 0 || m.End < m.Start || m.End > m.Runs {
+		return fmt.Errorf("dist: %s manifest window [%d,%d) is invalid for %d runs", path, m.Start, m.End, m.Runs)
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// This file defines the self-describing index footer appended to every
+// file-backed JSONL(.gz) artefact: a binary offset table that turns the
+// artefact into a random-access dossier (see dossier.go) while staying
+// invisible to sequential readers. The layout is documented in
+// DESIGN.md ("Indexed run dossiers"); the essentials:
+//
+//	plain artefact                gzip artefact
+//	--------------                -------------
+//	manifest line                 member 0..M: the JSONL line stream
+//	run lines ...                 member F: the footer block (deflated)
+//	summary line                  member T: hand-crafted empty member
+//	footer block                            whose EXTRA header field
+//	24-byte trailer                         locates member F
+//
+// The footer block itself (identical content in both formats) starts
+// with footerMagic — never a '{' — so a sequential line scanner that
+// reaches it sees one non-JSON line and stops, exactly the way it
+// already stops at a torn trailing line. The gzip trailer member is a
+// valid RFC 1952 member with an empty payload, so sequential gzip
+// decoding runs through it without error. Random access reads the
+// fixed-size trailer from the end of the file, locates the footer in
+// O(1) seeks, and verifies magic + CRC before trusting a byte of it;
+// anything that fails verification degrades to a sequential scan.
+
+// footerMagic opens the footer block. It must not start with '{' (so
+// JSON line probes fail cleanly) and must not contain '\n' (so the
+// whole magic lands at the start of one scanner token).
+const footerMagic = "CFYDOSS1"
+
+// trailerMagic closes the plain-format 24-byte trailer and the gzip
+// trailer member's extra payload.
+const trailerMagic = "CFYDEND1"
+
+// footerVersion is the footer block's own format generation,
+// independent of the JSONL SchemaVersion (the record shapes are
+// unchanged by indexing). Readers refuse newer footers — and fall back
+// to the sequential path, never to an error.
+const footerVersion = 1
+
+// plainTrailerSize is the fixed plain-format trailer:
+// footerOff(8) + footerLen(8) + trailerMagic(8), little endian.
+const plainTrailerSize = 24
+
+// IndexEntry is one run record's row in the footer's offset table:
+// where the record's line lives in the (uncompressed) line stream plus
+// the fields a certifying reviewer queries without decoding the record
+// — outcome, detection latency, trace hash, injection count.
+type IndexEntry struct {
+	// Index is the run's global campaign index.
+	Index int
+	// Offset is the byte offset of the record's line in the artefact's
+	// uncompressed line stream (for plain files: the file offset).
+	Offset int64
+	// Length is the line's byte length including the trailing newline.
+	Length int
+	// Outcome is the classifier's verdict name.
+	Outcome string
+	// Injections is the number of injections performed in the run.
+	Injections int
+	// TraceHash is the run's reproducibility fingerprint.
+	TraceHash uint64
+	// DetectionNS is the detection latency in virtual nanoseconds;
+	// -1 when nothing was detected.
+	DetectionNS int64
+}
+
+// restart is one gzip random-access restart point: member starts at
+// compressed file offset comp and decodes the line stream from
+// uncompressed offset uncomp. Plain artefacts have none.
+type restart struct {
+	comp, uncomp int64
+}
+
+// shardIndex is the parsed footer: the offset table sorted by run
+// index, the gzip restart points, and whether a summary line was
+// written (the writer's completion marker, carried into the index so
+// dossiers can answer Complete() without scanning).
+type shardIndex struct {
+	entries  []IndexEntry
+	restarts []restart
+	summary  bool
+}
+
+// indexBuilder accumulates index state inside JSONLWriter as records
+// stream out. Appends happen in completion order; encodeFooter sorts.
+type indexBuilder struct {
+	entries  []IndexEntry
+	restarts []restart
+	summary  bool
+}
+
+// footerFlagSummary marks an artefact whose summary line was written.
+const footerFlagSummary = 1
+
+// encodeFooter serialises the index as the footer block:
+//
+//	footerMagic
+//	uvarint version, uvarint flags
+//	uvarint entryCount
+//	outcome string table: uvarint count, count × (uvarint len, bytes)
+//	entryCount × entry, sorted ascending by run index:
+//	    uvarint indexDelta (from the previous entry; first is absolute)
+//	    uvarint offset, uvarint length
+//	    uvarint outcome (string-table ordinal), uvarint injections
+//	    8 bytes trace hash (little endian)
+//	    varint detectionNS (zig-zag)
+//	restart table: uvarint count, count × (uvarint compDelta, uvarint
+//	    uncompDelta) — first pair absolute
+//	crc32 (IEEE, little endian) over everything above
+func encodeFooter(ix *shardIndex) []byte {
+	entries := append([]IndexEntry(nil), ix.entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Index < entries[j].Index })
+
+	outcomes := make([]string, 0, 8)
+	ordinal := make(map[string]int, 8)
+	for _, e := range entries {
+		if _, ok := ordinal[e.Outcome]; !ok {
+			ordinal[e.Outcome] = len(outcomes)
+			outcomes = append(outcomes, e.Outcome)
+		}
+	}
+
+	buf := make([]byte, 0, 64+len(entries)*24)
+	buf = append(buf, footerMagic...)
+	buf = binary.AppendUvarint(buf, footerVersion)
+	var flags uint64
+	if ix.summary {
+		flags |= footerFlagSummary
+	}
+	buf = binary.AppendUvarint(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	buf = binary.AppendUvarint(buf, uint64(len(outcomes)))
+	for _, o := range outcomes {
+		buf = binary.AppendUvarint(buf, uint64(len(o)))
+		buf = append(buf, o...)
+	}
+	prev := 0
+	for i, e := range entries {
+		delta := e.Index
+		if i > 0 {
+			delta = e.Index - prev
+		}
+		prev = e.Index
+		buf = binary.AppendUvarint(buf, uint64(delta))
+		buf = binary.AppendUvarint(buf, uint64(e.Offset))
+		buf = binary.AppendUvarint(buf, uint64(e.Length))
+		buf = binary.AppendUvarint(buf, uint64(ordinal[e.Outcome]))
+		buf = binary.AppendUvarint(buf, uint64(e.Injections))
+		buf = binary.LittleEndian.AppendUint64(buf, e.TraceHash)
+		buf = binary.AppendVarint(buf, e.DetectionNS)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ix.restarts)))
+	var pc, pu int64
+	for i, r := range ix.restarts {
+		dc, du := r.comp, r.uncomp
+		if i > 0 {
+			dc, du = r.comp-pc, r.uncomp-pu
+		}
+		pc, pu = r.comp, r.uncomp
+		buf = binary.AppendUvarint(buf, uint64(dc))
+		buf = binary.AppendUvarint(buf, uint64(du))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// footerReader decodes uvarints with explicit bounds handling so a
+// truncated or bit-flipped footer yields an error, never a panic.
+type footerReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *footerReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *footerReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("dist: footer truncated at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *footerReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("dist: footer truncated at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *footerReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.fail("dist: footer truncated at byte %d (want %d more)", r.pos, n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// maxFooterEntries bounds how many table rows a parse will allocate
+// for: a corrupted count must not translate into an OOM-sized make.
+// The cap is generous (a shard of 100M runs) and cross-checked against
+// the remaining footer bytes before anything is allocated.
+const maxFooterEntries = 100_000_000
+
+// parseFooter decodes and verifies one footer block (magic through
+// CRC). It is the only parser the fuzz target needs to defeat: every
+// return path is an error, never a panic, and a block that decodes but
+// fails its CRC is rejected wholesale — a bit-flipped table must not
+// misattribute records.
+func parseFooter(data []byte) (*shardIndex, error) {
+	if len(data) < len(footerMagic)+4 {
+		return nil, fmt.Errorf("dist: footer block of %d bytes is too short", len(data))
+	}
+	if string(data[:len(footerMagic)]) != footerMagic {
+		return nil, fmt.Errorf("dist: footer magic mismatch")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("dist: footer CRC mismatch")
+	}
+	r := &footerReader{data: body, pos: len(footerMagic)}
+	if v := r.uvarint(); r.err == nil && v != footerVersion {
+		return nil, fmt.Errorf("dist: footer version %d, this build reads %d", v, footerVersion)
+	}
+	flags := r.uvarint()
+	entryCount := r.uvarint()
+	outcomeCount := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if entryCount > maxFooterEntries || int(entryCount) > len(body) {
+		return nil, fmt.Errorf("dist: footer declares %d entries for %d bytes", entryCount, len(body))
+	}
+	if outcomeCount > 64 {
+		return nil, fmt.Errorf("dist: footer declares %d outcome names", outcomeCount)
+	}
+	outcomes := make([]string, 0, outcomeCount)
+	for i := uint64(0); i < outcomeCount; i++ {
+		n := r.uvarint()
+		if n > 256 {
+			r.fail("dist: footer outcome name of %d bytes", n)
+		}
+		outcomes = append(outcomes, string(r.bytes(int(n))))
+	}
+	ix := &shardIndex{summary: flags&footerFlagSummary != 0}
+	if r.err == nil && entryCount > 0 {
+		ix.entries = make([]IndexEntry, 0, entryCount)
+	}
+	prev := -1
+	for i := uint64(0); i < entryCount && r.err == nil; i++ {
+		delta := r.uvarint()
+		e := IndexEntry{
+			Offset: int64(r.uvarint()),
+			Length: int(r.uvarint()),
+		}
+		o := r.uvarint()
+		e.Injections = int(r.uvarint())
+		hash := r.bytes(8)
+		e.DetectionNS = r.varint()
+		if r.err != nil {
+			break
+		}
+		if i == 0 {
+			e.Index = int(delta)
+		} else {
+			e.Index = prev + int(delta)
+		}
+		if e.Index < prev || e.Index < 0 {
+			return nil, fmt.Errorf("dist: footer entry %d: non-increasing run index %d", i, e.Index)
+		}
+		if i > 0 && e.Index == prev {
+			return nil, fmt.Errorf("dist: footer entry %d: duplicate run index %d", i, e.Index)
+		}
+		if e.Offset < 0 || e.Length <= 0 {
+			return nil, fmt.Errorf("dist: footer entry %d: bad span [%d,+%d)", i, e.Offset, e.Length)
+		}
+		if o >= uint64(len(outcomes)) {
+			return nil, fmt.Errorf("dist: footer entry %d: outcome ordinal %d of %d", i, o, len(outcomes))
+		}
+		e.Outcome = outcomes[o]
+		e.TraceHash = binary.LittleEndian.Uint64(hash)
+		prev = e.Index
+		ix.entries = append(ix.entries, e)
+	}
+	restartCount := r.uvarint()
+	if restartCount > maxFooterEntries || int(restartCount) > len(body) {
+		return nil, fmt.Errorf("dist: footer declares %d restart points for %d bytes", restartCount, len(body))
+	}
+	var pc, pu int64
+	for i := uint64(0); i < restartCount && r.err == nil; i++ {
+		dc, du := int64(r.uvarint()), int64(r.uvarint())
+		if i == 0 {
+			pc, pu = dc, du
+		} else {
+			pc, pu = pc+dc, pu+du
+		}
+		ix.restarts = append(ix.restarts, restart{comp: pc, uncomp: pu})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("dist: footer holds %d trailing bytes", len(body)-r.pos)
+	}
+	return ix, nil
+}
+
+// encodePlainTrailer builds the fixed 24-byte trailer of a plain
+// artefact: where the footer block starts and how long it is, closed
+// by the trailer magic. The whole file is then
+// lines ++ footer ++ trailer, which is what the reader cross-checks.
+func encodePlainTrailer(footerOff, footerLen int64) []byte {
+	buf := make([]byte, 0, plainTrailerSize)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(footerOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(footerLen))
+	return append(buf, trailerMagic...)
+}
+
+// parsePlainTrailer decodes the last plainTrailerSize bytes of a plain
+// artefact. ok is false when they are not a trailer (a pre-index
+// artefact, or one whose tail was cut) — the caller falls back.
+func parsePlainTrailer(tail []byte) (footerOff, footerLen int64, ok bool) {
+	if len(tail) != plainTrailerSize || string(tail[16:]) != trailerMagic {
+		return 0, 0, false
+	}
+	footerOff = int64(binary.LittleEndian.Uint64(tail[0:8]))
+	footerLen = int64(binary.LittleEndian.Uint64(tail[8:16]))
+	return footerOff, footerLen, footerOff >= 0 && footerLen > 0
+}
+
+// The gzip trailer member is hand-crafted so its size is a compile-time
+// constant: a valid RFC 1952 member with an empty deflate payload whose
+// EXTRA header field carries the footer member's location. Sequential
+// gzip readers decode it to zero bytes and read on to EOF; the dossier
+// opener reads the last gzipTrailerSize bytes and pattern-matches it.
+//
+//	offset  bytes
+//	0       1f 8b 08 04 00 00 00 00 00 ff   header: FLG=FEXTRA, OS=unknown
+//	10      1c 00                           XLEN = 28
+//	12      'C' 'F' 18 00                   subfield id + LEN = 24
+//	16      footerOff(8) footerLen(8) trailerMagic(8)
+//	40      03 00                           empty deflate stream
+//	42      00×4 00×4                       CRC32 and ISIZE of empty
+const gzipTrailerSize = 50
+
+// gzipExtraID is the two-byte EXTRA subfield identifier ("CF").
+var gzipExtraID = [2]byte{'C', 'F'}
+
+// encodeGzipTrailer builds the 50-byte trailer member locating the
+// footer member at [footerOff, footerOff+footerLen) in the file.
+func encodeGzipTrailer(footerOff, footerLen int64) []byte {
+	buf := make([]byte, 0, gzipTrailerSize)
+	buf = append(buf, 0x1f, 0x8b, 0x08, 0x04, 0, 0, 0, 0, 0, 0xff)
+	buf = append(buf, 28, 0)                                 // XLEN
+	buf = append(buf, gzipExtraID[0], gzipExtraID[1], 24, 0) // subfield header
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(footerOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(footerLen))
+	buf = append(buf, trailerMagic...)
+	buf = append(buf, 0x03, 0x00)              // empty final deflate block
+	return append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // CRC32 + ISIZE of empty
+}
+
+// parseGzipTrailer decodes the last gzipTrailerSize bytes of a gzip
+// artefact. ok is false for anything that is not byte-for-byte a
+// trailer member — pre-index artefacts, torn files, foreign data.
+func parseGzipTrailer(tail []byte) (footerOff, footerLen int64, ok bool) {
+	if len(tail) != gzipTrailerSize {
+		return 0, 0, false
+	}
+	want := encodeGzipTrailer(0, 0)
+	for _, span := range [][2]int{{0, 16}, {40, gzipTrailerSize}} {
+		for i := span[0]; i < span[1]; i++ {
+			if tail[i] != want[i] {
+				return 0, 0, false
+			}
+		}
+	}
+	if string(tail[32:40]) != trailerMagic {
+		return 0, 0, false
+	}
+	footerOff = int64(binary.LittleEndian.Uint64(tail[16:24]))
+	footerLen = int64(binary.LittleEndian.Uint64(tail[24:32]))
+	return footerOff, footerLen, footerOff >= 0 && footerLen > 0
+}

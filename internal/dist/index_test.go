@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestFooterRoundTrip: encode → parse is the identity, including the
+// outcome string table, zig-zag latencies and restart deltas.
+func TestFooterRoundTrip(t *testing.T) {
+	ix := &shardIndex{
+		entries: []IndexEntry{
+			{Index: 3, Offset: 120, Length: 80, Outcome: "correct", Injections: 0, TraceHash: 0xdeadbeefcafef00d, DetectionNS: -1},
+			{Index: 4, Offset: 440, Length: 91, Outcome: "panic-park", Injections: 2, TraceHash: 1, DetectionNS: 1_500_000},
+			{Index: 9, Offset: 200, Length: 77, Outcome: "correct", Injections: 1, TraceHash: 0, DetectionNS: -1},
+		},
+		restarts: []restart{{0, 0}, {512, 4096}, {900, 8192}},
+		summary:  true,
+	}
+	got, err := parseFooter(encodeFooter(ix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.entries, ix.entries) {
+		t.Fatalf("entries round-trip:\n got %+v\nwant %+v", got.entries, ix.entries)
+	}
+	if !reflect.DeepEqual(got.restarts, ix.restarts) {
+		t.Fatalf("restarts round-trip: got %+v want %+v", got.restarts, ix.restarts)
+	}
+	if !got.summary {
+		t.Fatal("summary flag lost")
+	}
+
+	// Unsorted input is sorted by run index on encode.
+	ix.entries[0], ix.entries[2] = ix.entries[2], ix.entries[0]
+	got, err = parseFooter(encodeFooter(ix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.entries); i++ {
+		if got.entries[i].Index <= got.entries[i-1].Index {
+			t.Fatal("parsed entries not sorted by run index")
+		}
+	}
+}
+
+// TestFooterParserRejectsCorruption: every single-bit flip and every
+// truncation of a valid footer block must be rejected (the CRC spans
+// the whole block), never panic, and never round-trip to a different
+// table.
+func TestFooterParserRejectsCorruption(t *testing.T) {
+	ix := &shardIndex{
+		entries: []IndexEntry{
+			{Index: 0, Offset: 100, Length: 50, Outcome: "correct", TraceHash: 42, DetectionNS: -1},
+			{Index: 1, Offset: 150, Length: 60, Outcome: "cpu-park", Injections: 1, TraceHash: 43, DetectionNS: 10},
+		},
+		summary: true,
+	}
+	block := encodeFooter(ix)
+
+	for i := 0; i < len(block); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), block...)
+			mut[i] ^= 1 << bit
+			if _, err := parseFooter(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+	for n := 0; n < len(block); n++ {
+		if _, err := parseFooter(block[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestGzipTrailerRoundTrip pins the hand-crafted trailer member: fixed
+// size, parseable, and rejected byte-for-byte when mutated outside the
+// variable fields.
+func TestGzipTrailerRoundTrip(t *testing.T) {
+	tr := encodeGzipTrailer(12345, 678)
+	if len(tr) != gzipTrailerSize {
+		t.Fatalf("trailer member is %d bytes, want %d", len(tr), gzipTrailerSize)
+	}
+	off, n, ok := parseGzipTrailer(tr)
+	if !ok || off != 12345 || n != 678 {
+		t.Fatalf("trailer round-trip: off=%d len=%d ok=%v", off, n, ok)
+	}
+	for _, i := range []int{0, 1, 2, 3, 11, 12, 13, 33, 40, 41, 45, 49} {
+		mut := append([]byte(nil), tr...)
+		mut[i] ^= 0xff
+		if _, _, ok := parseGzipTrailer(mut); ok {
+			t.Fatalf("mutated trailer byte %d accepted", i)
+		}
+	}
+	if _, _, ok := parseGzipTrailer(tr[:gzipTrailerSize-1]); ok {
+		t.Fatal("short trailer accepted")
+	}
+}
+
+// TestPlainTrailerRejectsMutation covers the plain 24-byte trailer.
+func TestPlainTrailerRejectsMutation(t *testing.T) {
+	tr := encodePlainTrailer(777, 88)
+	off, n, ok := parsePlainTrailer(tr)
+	if !ok || off != 777 || n != 88 {
+		t.Fatalf("plain trailer round-trip: off=%d len=%d ok=%v", off, n, ok)
+	}
+	for i := 16; i < plainTrailerSize; i++ { // the magic bytes
+		mut := append([]byte(nil), tr...)
+		mut[i] ^= 1
+		if _, _, ok := parsePlainTrailer(mut); ok {
+			t.Fatalf("mutated trailer magic byte %d accepted", i)
+		}
+	}
+}
+
+// corruptTailCases enumerates deterministic footer-corruption shapes;
+// the fuzz target below explores the space around them.
+func corruptTailCases(data []byte, gz bool) map[string][]byte {
+	cases := map[string][]byte{
+		"trailer-cut":      data[:len(data)-7],
+		"footer-half":      data[:len(data)-len(data)/8],
+		"no-footer-midrec": data[:len(data)*3/4],
+	}
+	flip := func(off int) []byte {
+		mut := append([]byte(nil), data...)
+		mut[len(mut)+off] ^= 0x20
+		return mut
+	}
+	cases["flip-in-trailer"] = flip(-4)
+	cases["flip-in-footer"] = flip(-40)
+	if gz {
+		cases["flip-in-member"] = flip(-len(data) / 3)
+	}
+	return cases
+}
+
+// TestDossierFooterCorruptionDegrades: truncated, bit-flipped and torn
+// footers must degrade to the sequential scan — never panic, never
+// error out for footer reasons, never misattribute a record. Torn
+// variants that also lose record lines just serve fewer records, the
+// same set the sequential decode sees.
+func TestDossierFooterCorruptionDegrades(t *testing.T) {
+	spec := synthSpec(64, 1)
+	for _, name := range []string{"shard.jsonl", "shard.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			clean := filepath.Join(dir, name)
+			writeSyntheticShard(t, clean, spec, 0)
+			data, err := os.ReadFile(clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for caseName, mut := range corruptTailCases(data, IsGzipPath(name)) {
+				t.Run(caseName, func(t *testing.T) {
+					path := filepath.Join(dir, caseName+"-"+name)
+					if err := os.WriteFile(path, mut, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					d, err := OpenDossier(path)
+					if err != nil {
+						// Only acceptable when even the manifest is gone —
+						// not the case for tail corruption of a 64-run file.
+						t.Fatalf("OpenDossier: %v", err)
+					}
+					defer d.Close()
+					want := sequentialRunLines(t, path)
+					if d.NumRuns() != len(want) {
+						t.Fatalf("dossier holds %d runs, sequential decode of the same bytes %d", d.NumRuns(), len(want))
+					}
+					for k, line := range want {
+						raw, err := d.RawRun(k)
+						if err != nil {
+							t.Fatalf("RawRun(%d): %v", k, err)
+						}
+						if !bytes.Equal(raw, line) {
+							t.Fatalf("RawRun(%d) diverges after tail corruption", k)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// FuzzFooterParser throws arbitrary bytes at the footer block parser:
+// it must never panic and never accept a block whose re-encoding does
+// not reproduce the input's table (CRC acceptance implies integrity).
+func FuzzFooterParser(f *testing.F) {
+	ix := &shardIndex{
+		entries: []IndexEntry{
+			{Index: 0, Offset: 90, Length: 50, Outcome: "correct", TraceHash: 7, DetectionNS: -1},
+			{Index: 2, Offset: 140, Length: 61, Outcome: "panic-park", Injections: 3, TraceHash: 8, DetectionNS: 5},
+		},
+		restarts: []restart{{0, 0}, {77, 1024}},
+		summary:  true,
+	}
+	f.Add(encodeFooter(ix))
+	f.Add([]byte(footerMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := parseFooter(data)
+		if err != nil {
+			return
+		}
+		// Accepted blocks must be internally consistent: sorted unique
+		// indices, positive spans — the invariants random access trusts.
+		for i, e := range got.entries {
+			if e.Length <= 0 || e.Offset < 0 || e.Index < 0 {
+				t.Fatalf("accepted entry %d with bad span: %+v", i, e)
+			}
+			if i > 0 && e.Index <= got.entries[i-1].Index {
+				t.Fatalf("accepted unsorted entries at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDossierTailCorruption mutates the tail of a real indexed
+// artefact (where the footer and trailer live) and opens it as a
+// dossier: any outcome is fine except a panic or a misattributed
+// record — every record served for index k must really be run k's
+// line, bit-flips in the table notwithstanding.
+func FuzzDossierTailCorruption(f *testing.F) {
+	dir, err := os.MkdirTemp("", "dossier-fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	spec := synthSpec(32, 1)
+	seeds := map[string][]byte{}
+	for _, name := range []string{"seed.jsonl", "seed.jsonl.gz"} {
+		path := filepath.Join(dir, name)
+		writeSyntheticShard(f, path, spec, 0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds[name] = data
+		f.Add(data, true)
+	}
+	f.Add(seeds["seed.jsonl"][:len(seeds["seed.jsonl"])-11], false)
+	f.Add(seeds["seed.jsonl.gz"][:len(seeds["seed.jsonl.gz"])-3], true)
+
+	var n int
+	f.Fuzz(func(t *testing.T, data []byte, gz bool) {
+		name := "f.jsonl"
+		if gz {
+			name += ".gz"
+		}
+		n++
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenDossier(path)
+		if err != nil {
+			return // unreadable is a legal outcome for arbitrary bytes
+		}
+		defer d.Close()
+		for _, e := range d.Entries() {
+			rec, err := d.Run(e.Index)
+			if err != nil {
+				continue // a failed read is legal; a wrong record is not
+			}
+			if rec.Index != e.Index {
+				t.Fatalf("dossier served run %d's record for index %d", rec.Index, e.Index)
+			}
+		}
+	})
+}

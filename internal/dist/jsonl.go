@@ -146,11 +146,21 @@ const flushBatch = 64
 type JSONLWriter struct {
 	mu   sync.Mutex
 	w    *bufio.Writer
-	enc  *json.Encoder // persistent line encoder over w
+	enc  *json.Encoder // persistent line encoder over lineCount → w
 	gz   *gzip.Writer  // non-nil for .gz artefacts; closed before file
 	file *os.File      // nil when wrapping a caller-owned io.Writer
 	err  error         // first write error; OnRun cannot return one
 	runs int
+
+	// lineCount meters the uncompressed line stream (the encoder's
+	// output), giving every record its byte offset for the index footer.
+	lineCount *countingWriter
+	// fileCount meters compressed bytes reaching the file — the gzip
+	// restart offsets. Nil for plain artefacts.
+	fileCount *countingWriter
+	// idx accumulates the index footer; nil for caller-owned writers,
+	// which stay footer-free (the pre-index format).
+	idx *indexBuilder
 
 	flushEvery time.Duration // 0 = flush every record synchronously
 	pending    int           // run records since the last flush
@@ -158,12 +168,26 @@ type JSONLWriter struct {
 	closed     bool
 }
 
+// countingWriter meters bytes passed through to its sink.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // NewJSONLWriter wraps a caller-owned writer (Close flushes but does not
 // close it). Caller-owned writers flush synchronously per record unless
-// SetFlushInterval arms batching.
+// SetFlushInterval arms batching, and never append an index footer —
+// they produce the pre-index artefact format.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	jw := &JSONLWriter{w: bufio.NewWriter(w)}
-	jw.enc = json.NewEncoder(jw.w)
+	jw.lineCount = &countingWriter{w: jw.w}
+	jw.enc = json.NewEncoder(jw.lineCount)
 	return jw
 }
 
@@ -189,19 +213,29 @@ func IsGzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
 // suffix selects transparent gzip compression: archive-scale campaigns
 // keep per-run evidence at a fraction of the plain-text footprint, and
 // ReadShard/Merge decompress on the fly.
+//
+// File-backed writers index as they write: every run record's offset,
+// outcome, trace hash, injection count and detection latency is
+// recorded, and Close appends the index footer that OpenDossier uses
+// for random access. Gzip artefacts additionally end a gzip member at
+// every batch flush, so each flush point doubles as a random-access
+// restart offset (gzip decoding cannot otherwise start mid-stream).
 func CreateJSONL(path string) (*JSONLWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	jw := &JSONLWriter{file: f, flushEvery: DefaultFlushInterval}
+	jw := &JSONLWriter{file: f, flushEvery: DefaultFlushInterval, idx: &indexBuilder{}}
 	if IsGzipPath(path) {
-		jw.gz = gzip.NewWriter(f)
+		jw.fileCount = &countingWriter{w: f}
+		jw.gz = gzip.NewWriter(jw.fileCount)
 		jw.w = bufio.NewWriter(jw.gz)
+		jw.idx.restarts = []restart{{comp: 0, uncomp: 0}}
 	} else {
 		jw.w = bufio.NewWriter(f)
 	}
-	jw.enc = json.NewEncoder(jw.w)
+	jw.lineCount = &countingWriter{w: jw.w}
+	jw.enc = json.NewEncoder(jw.lineCount)
 	return jw, nil
 }
 
@@ -221,9 +255,12 @@ func (jw *JSONLWriter) writeLine(v any) error {
 
 // flushLocked pushes buffered bytes through to the file so the lines
 // written so far are visible to a tailing supervisor and survive a
-// kill. For gzip artefacts this emits a flate sync point per flush — a
-// few bytes of overhead per flush buys liveness and torn-file recovery
-// down to the last flushed batch. Callers hold mu.
+// kill. For gzip artefacts every flush ends the current gzip member
+// and starts a new one (a few bytes of header/trailer per batch): the
+// member boundary buys the same liveness and torn-file recovery a
+// flate sync point did, and doubles as a random-access restart offset
+// — decoding can start at any member boundary without the stream
+// history a mid-member seek would need. Callers hold mu.
 func (jw *JSONLWriter) flushLocked() {
 	jw.pending = 0
 	if err := jw.w.Flush(); err != nil {
@@ -233,10 +270,28 @@ func (jw *JSONLWriter) flushLocked() {
 		return
 	}
 	if jw.gz != nil {
-		if err := jw.gz.Flush(); err != nil && jw.err == nil {
+		jw.closeMemberLocked()
+	}
+}
+
+// closeMemberLocked ends the current gzip member (when it holds any
+// bytes) and records the next member's restart point. Line boundaries
+// always coincide with flushes, so no record line ever straddles a
+// member boundary — the invariant the dossier's random-access reads
+// rely on. Callers hold mu and have flushed jw.w.
+func (jw *JSONLWriter) closeMemberLocked() {
+	last := jw.idx.restarts[len(jw.idx.restarts)-1]
+	if jw.lineCount.n == last.uncomp {
+		return // nothing written since the member opened
+	}
+	if err := jw.gz.Close(); err != nil {
+		if jw.err == nil {
 			jw.err = err
 		}
+		return
 	}
+	jw.gz.Reset(jw.fileCount)
+	jw.idx.restarts = append(jw.idx.restarts, restart{comp: jw.fileCount.n, uncomp: jw.lineCount.n})
 }
 
 // noteRecordLocked applies the batching policy after a run record was
@@ -299,8 +354,20 @@ func (jw *JSONLWriter) OnRun(index int, r *core.RunResult) {
 	}
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	start := jw.lineCount.n
 	if jw.writeLine(rec) == nil {
 		jw.runs++
+		if jw.idx != nil {
+			jw.idx.entries = append(jw.idx.entries, IndexEntry{
+				Index:       index,
+				Offset:      start,
+				Length:      int(jw.lineCount.n - start),
+				Outcome:     rec.Outcome,
+				Injections:  rec.Injections,
+				TraceHash:   r.TraceHash,
+				DetectionNS: rec.DetectionNS,
+			})
+		}
 		jw.noteRecordLocked()
 	}
 }
@@ -325,6 +392,9 @@ func (jw *JSONLWriter) WriteSummary(res *core.CampaignResult) error {
 	if err := jw.writeLine(s); err != nil {
 		return err
 	}
+	if jw.idx != nil {
+		jw.idx.summary = true
+	}
 	jw.flushLocked()
 	return jw.err
 }
@@ -343,24 +413,35 @@ func (jw *JSONLWriter) Err() error {
 	return jw.err
 }
 
-// Close flushes and (for CreateJSONL writers) closes the file,
-// returning the first error seen anywhere in the stream. The gzip
-// layer, when present, is finalised between the buffer flush and the
-// file close — only then does the artefact carry a valid trailer.
+// Close flushes, appends the index footer (file-backed writers only)
+// and closes the file, returning the first error seen anywhere in the
+// stream. The gzip layer, when present, is finalised between the
+// buffer flush and the footer — only then does the artefact carry a
+// valid trailer. A writer that hit an earlier error skips the footer:
+// the artefact stays readable through the sequential fallback rather
+// than carrying an index that may not match its bytes.
 func (jw *JSONLWriter) Close() error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	if jw.closed && jw.file == nil {
+		return jw.err // second Close: everything already finalised
+	}
 	jw.closed = true // a still-armed deadline timer becomes a no-op
 	jw.pending = 0
 	if err := jw.w.Flush(); err != nil && jw.err == nil {
 		jw.err = err
 	}
 	if jw.gz != nil {
-		if err := jw.gz.Close(); err != nil && jw.err == nil {
+		if jw.idx != nil {
+			jw.closeMemberLocked()
+		} else if err := jw.gz.Close(); err != nil && jw.err == nil {
 			jw.err = err
 		}
-		jw.gz = nil
 	}
+	if jw.idx != nil && jw.file != nil && jw.err == nil {
+		jw.writeFooterLocked()
+	}
+	jw.gz = nil
 	if jw.file != nil {
 		if err := jw.file.Close(); err != nil && jw.err == nil {
 			jw.err = err
@@ -368,4 +449,41 @@ func (jw *JSONLWriter) Close() error {
 		jw.file = nil
 	}
 	return jw.err
+}
+
+// writeFooterLocked appends the index footer after the line stream:
+// the footer block plus the fixed trailer that locates it (plain), or
+// a footer gzip member plus the hand-crafted trailer member (gzip).
+// Callers hold mu; all line data has been flushed through to the file.
+func (jw *JSONLWriter) writeFooterLocked() {
+	ix := &shardIndex{entries: jw.idx.entries, summary: jw.idx.summary}
+	if jw.fileCount != nil {
+		// Drop the restart point that would name the footer member
+		// itself: only points inside the line stream are useful.
+		for _, r := range jw.idx.restarts {
+			if r.uncomp < jw.lineCount.n {
+				ix.restarts = append(ix.restarts, r)
+			}
+		}
+	}
+	block := encodeFooter(ix)
+	var err error
+	if jw.fileCount != nil {
+		footerOff := jw.fileCount.n
+		jw.gz.Reset(jw.fileCount)
+		if _, err = jw.gz.Write(block); err == nil {
+			err = jw.gz.Close()
+		}
+		if err == nil {
+			_, err = jw.file.Write(encodeGzipTrailer(footerOff, jw.fileCount.n-footerOff))
+		}
+	} else {
+		footerOff := jw.lineCount.n
+		if _, err = jw.file.Write(block); err == nil {
+			_, err = jw.file.Write(encodePlainTrailer(footerOff, int64(len(block))))
+		}
+	}
+	if err != nil && jw.err == nil {
+		jw.err = err
+	}
 }

@@ -140,14 +140,8 @@ func ReadShard(path string) (*ShardFile, error) {
 		}
 		return nil, fmt.Errorf("dist: %s does not start with a manifest line", path)
 	}
-	if m.Schema > SchemaVersion {
-		return nil, fmt.Errorf("dist: %s uses schema %d, this build reads up to %d", path, m.Schema, SchemaVersion)
-	}
-	if m.Runs <= 0 || m.Shards <= 0 || m.Shard < 0 || m.Shard >= m.Shards {
-		return nil, fmt.Errorf("dist: %s manifest declares shard %d of %d over %d runs — inconsistent", path, m.Shard, m.Shards, m.Runs)
-	}
-	if m.Start < 0 || m.End < m.Start || m.End > m.Runs {
-		return nil, fmt.Errorf("dist: %s manifest window [%d,%d) is invalid for %d runs", path, m.Start, m.End, m.Runs)
+	if err := validateManifest(path, m); err != nil {
+		return nil, err
 	}
 
 	sf := &ShardFile{
@@ -165,8 +159,11 @@ func ReadShard(path string) (*ShardFile, error) {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
-			// A torn trailing line is what a killed process leaves behind;
-			// everything before it still counts.
+			// Either the index footer (its magic can never parse as JSON —
+			// the indexed-artefact format appends it after the summary so
+			// sequential readers stop exactly here) or a torn trailing
+			// line from a killed process. In both cases everything before
+			// this point counts and nothing after it is line data.
 			break
 		}
 		switch probe.Type {

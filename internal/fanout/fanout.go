@@ -137,26 +137,33 @@ type ShardStatus struct {
 // Manifest is the fanout.json document: the campaign identity plus the
 // full supervision history.
 type Manifest struct {
-	Plan       string        `json:"plan"`
-	PlanHash   string        `json:"plan_hash"`
-	MasterSeed string        `json:"master_seed"`
-	Runs       int           `json:"runs"`
-	Shards     int           `json:"shards"`
-	Mode       string        `json:"mode"`
-	Parallel   int           `json:"parallel"`
-	Retries    int           `json:"retries"`
-	Completed  bool          `json:"completed"`
-	Workers    []ShardStatus `json:"workers"`
+	Plan       string `json:"plan"`
+	PlanHash   string `json:"plan_hash"`
+	MasterSeed string `json:"master_seed"`
+	Runs       int    `json:"runs"`
+	Shards     int    `json:"shards"`
+	Mode       string `json:"mode"`
+	Parallel   int    `json:"parallel"`
+	Retries    int    `json:"retries"`
+	Completed  bool   `json:"completed"`
+	// MasterIndex names the campaign-level index document composed from
+	// the shard footers after the merge (relative to the campaign
+	// directory); empty until the fan-out completes.
+	MasterIndex string        `json:"master_index,omitempty"`
+	Workers     []ShardStatus `json:"workers"`
 }
 
 // Result is a completed fan-out: the merged campaign aggregate, the
-// parsed shard artefacts (trace hashes included), and the manifest as
-// written to fanout.json.
+// parsed shard artefacts (trace hashes included), the manifest as
+// written to fanout.json, and the master index composed from the shard
+// artefacts' footers (the entry point for `certify inspect`).
 type Result struct {
-	Merged       *core.CampaignResult
-	Shards       []*dist.ShardFile
-	Manifest     *Manifest
-	ManifestPath string
+	Merged          *core.CampaignResult
+	Shards          []*dist.ShardFile
+	Manifest        *Manifest
+	ManifestPath    string
+	MasterIndex     *dist.MasterIndex
+	MasterIndexPath string
 }
 
 // shardState is the supervisor's mutable per-shard bookkeeping.
@@ -338,13 +345,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return &Result{Manifest: manifest, ManifestPath: manifestPath},
 			fmt.Errorf("fanout: post-completion merge: %w", err)
 	}
+	// Compose the shard footers into the campaign-level master index —
+	// the random-access entry point `certify inspect` opens. Every
+	// worker wrote its footer via dist.CreateJSONL; shards that somehow
+	// lost theirs still compose (the dossier layer falls back to a scan
+	// and the master index records Indexed=false for them).
+	masterPath := filepath.Join(cfg.Dir, dist.MasterIndexFileName)
+	master, err := dist.WriteMasterIndexFile(masterPath, paths)
+	if err != nil {
+		return &Result{Manifest: manifest, ManifestPath: manifestPath},
+			fmt.Errorf("fanout: master index: %w", err)
+	}
 	manifest.Completed = true
+	manifest.MasterIndex = dist.MasterIndexFileName
 	if err := writeManifest(manifestPath, manifest); err != nil {
 		return nil, err
 	}
 	return &Result{
 		Merged: merged, Shards: shardFiles,
 		Manifest: manifest, ManifestPath: manifestPath,
+		MasterIndex: master, MasterIndexPath: masterPath,
 	}, nil
 }
 

@@ -145,6 +145,26 @@ type Trace struct {
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{hstate: fnvOffset64} }
 
+// Grow pre-sizes the record and argument arenas to hold at least recs
+// records and args arguments without reallocating — the plan-profile
+// hint campaign runs pass in so a cold machine build performs one
+// arena allocation per buffer instead of a doubling cascade (and its
+// copies) as the run's events stream in. Existing contents are kept;
+// a smaller-than-current hint is a no-op, so warm (reused) traces
+// never shrink.
+func (t *Trace) Grow(recs, args int) {
+	if recs > cap(t.recs) {
+		grown := make([]record, len(t.recs), recs)
+		copy(grown, t.recs)
+		t.recs = grown
+	}
+	if args > cap(t.args) {
+		grown := make([]Arg, len(t.args), args)
+		copy(grown, t.args)
+		t.args = grown
+	}
+}
+
 // Reset empties the trace while keeping its buffers for reuse.
 func (t *Trace) Reset() {
 	for i := range t.recs {

@@ -15,6 +15,10 @@
 #                                    # per-worker warm scratch vs shared pool
 #                                    # (BenchmarkWarmMachineCampaign) next to
 #                                    # the BenchmarkCampaignThroughput anchor
+#   scripts/bench.sh inspect         # indexed dossier random access vs full
+#                                    # sequential scan on a 10k-run artefact,
+#                                    # plain and gzip
+#                                    # (BenchmarkDossierRandomAccess)
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
 #   OUT=mybench.json scripts/bench.sh
 #
@@ -34,6 +38,8 @@ elif [ "$PATTERN" = "fanout" ]; then
     PATTERN='FanoutCampaign|ShardedCampaign'
 elif [ "$PATTERN" = "warm" ]; then
     PATTERN='WarmMachineCampaign|CampaignThroughput'
+elif [ "$PATTERN" = "inspect" ]; then
+    PATTERN='DossierRandomAccess'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -48,10 +54,13 @@ if [ -n "$UNFORMATTED" ]; then
 fi
 # The supervisor, the artefact layer and the warm machine pool are the
 # concurrency-heavy packages (worker goroutines, tail polling, shared
-# JSONL writers, concurrent pool Get/Put and the batched-flush timer):
-# run them under the race detector before archiving any measurement.
-# internal/core's -short pass keeps the full differential-determinism
-# plan × mode matrix while trimming the full-duration golden campaigns.
+# JSONL writers with index bookkeeping, concurrent pool Get/Put and the
+# batched-flush timer): run them under the race detector before
+# archiving any measurement. internal/dist now includes the index
+# footer / dossier code (writer offset metering, footer parse, random
+# access + fallback); internal/core's -short pass keeps the full
+# differential-determinism plan × mode matrix while trimming the
+# full-duration golden campaigns.
 go test -race -short ./internal/fanout ./internal/dist ./internal/core
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
