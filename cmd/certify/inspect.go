@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"regexp"
 	"strings"
 	"time"
 
@@ -20,6 +21,7 @@ type dossierView interface {
 	OutcomeCounts() map[string]int
 	InjectionsTotal() int
 	Window() (start, end int)
+	Grep(re *regexp.Regexp) ([]dist.GrepMatch, error)
 	Close() error
 }
 
@@ -86,6 +88,7 @@ func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	runIdx := fs.Int("run", -1, "print run K's full evidence record")
 	outcome := fs.String("outcome", "", "list runs classified with this outcome (e.g. silent-degradation)")
+	grep := fs.String("grep", "", "list runs whose record matches this regex (full-mode transcripts included)")
 	compare := fs.String("compare", "", "compare against this dossier (artefact or master index) run for run")
 	raw := fs.Bool("raw", false, "with -run: print the raw JSONL record bytes as well")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +110,8 @@ func cmdInspect(args []string) error {
 		return inspectRun(d, *runIdx, *raw)
 	case *outcome != "":
 		return inspectOutcome(d, *outcome)
+	case *grep != "":
+		return inspectGrep(d, *grep)
 	case *compare != "":
 		return inspectCompare(d, *compare)
 	default:
@@ -236,6 +241,37 @@ func outcomeNames() string {
 		names = append(names, o.String())
 	}
 	return strings.Join(names, ", ")
+}
+
+// inspectGrep lists every run whose record matches the pattern, with
+// the matching evidence/transcript lines. The regex runs against the
+// raw JSONL record bytes, so transcripts are searched as stored: JSON-
+// escaped, one record per line. Indexed gzip artefacts stream one
+// restart member at a time, decoding only the matching records.
+func inspectGrep(d dossierView, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -grep pattern: %w", err)
+	}
+	matches, err := d.Grep(re)
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		fmt.Printf("\nno runs match %q\n", pattern)
+		return nil
+	}
+	fmt.Printf("\n%d run(s) match %q:\n", len(matches), pattern)
+	for _, m := range matches {
+		fmt.Printf("  run %-6d %s\n", m.Index, m.Outcome)
+		for _, line := range m.Lines {
+			fmt.Printf("    %s\n", line)
+		}
+		if len(m.Lines) == 0 {
+			fmt.Println("    (match in record metadata, not in evidence or transcripts)")
+		}
+	}
+	return nil
 }
 
 // inspectCompare holds two dossiers against each other run for run:

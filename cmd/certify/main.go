@@ -5,18 +5,25 @@
 // Usage:
 //
 //	certify golden   [-seed N] [-duration 60s]
-//	certify inject   [-plan E3-fig3 | -planfile f] [-seed N] [-verbose]
-//	certify campaign [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
+//	certify inject   [-plan E3-fig3 | -planfile f] [-fault MODEL] [-seed N] [-verbose]
+//	certify campaign [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-csv] [-ci] [-out dir|runs.jsonl|runs.jsonl.gz]
 //	                 [-shards K -shard-index I -out shard-I.jsonl]
-//	certify fanout   [-plan E3-fig3 | -planfile f] [-runs 100] [-seed N]
+//	certify fanout   [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-shards K] [-parallel P] [-retries R] [-dir DIR]
 //	                 [-gzip] [-stall 2m] [-csv] [-ci]
 //	certify merge    [-csv] [-ci] [-index master-index.json] shard-*.jsonl[.gz]
-//	certify inspect  [-run K] [-outcome NAME] [-compare TARGET] [-raw]
+//	certify inspect  [-run K] [-outcome NAME] [-grep REGEX] [-compare TARGET] [-raw]
 //	                 runs.jsonl[.gz] | master-index.json | shard-*.jsonl[.gz]
 //	certify report   [-runs 30] [-seed N]
 //	certify plans
+//
+// -fault selects a fault model from the registry (certify plans lists
+// it): register (default), burst, ram, gic, irq-storm and friends. The
+// model name becomes part of the plan's identity — it is written to the
+// plan file, folded into the plan hash and recorded in every shard
+// manifest, so artefacts produced under different models refuse to
+// merge instead of blending silently.
 //
 // A campaign fans out across processes with -shards/-shard-index: each
 // process executes one contiguous window of the run-index space,
@@ -70,6 +77,25 @@ func resolvePlan(name, file string) (*core.TestPlan, error) {
 		return core.ParsePlan(string(text))
 	}
 	return lookupPlan(name)
+}
+
+// applyFault overrides the plan's fault model from the -fault flag. The
+// override becomes part of the plan's identity (plan file, hash, shard
+// manifests), so artefacts from different models never merge silently.
+// An empty flag leaves the plan untouched — plan files keep their say.
+func applyFault(plan *core.TestPlan, fault string) error {
+	if fault == "" {
+		return nil
+	}
+	if !core.FaultModelRegistered(fault) {
+		return fmt.Errorf("unknown fault model %q (registered: %s)",
+			fault, strings.Join(core.FaultModelNames(), ", "))
+	}
+	if fault == core.DefaultFaultModelName {
+		fault = "" // canonical spelling of the default, keeps plan hashes stable
+	}
+	plan.FaultName = fault
+	return plan.Validate()
 }
 
 func main() {
@@ -150,6 +176,7 @@ func cmdPlans() error {
 		p := namedPlans()[name]
 		fmt.Println(" ", p)
 	}
+	fmt.Println("fault models (-fault):", strings.Join(core.FaultModelNames(), ", "))
 	return nil
 }
 
@@ -173,6 +200,7 @@ func cmdInject(args []string) error {
 	fs := flag.NewFlagSet("inject", flag.ContinueOnError)
 	planName := fs.String("plan", "E3-fig3", "test plan name")
 	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	fault := fs.String("fault", "", "fault model override (see 'certify plans' for the registry)")
 	seed := fs.Uint64("seed", 1, "run seed")
 	verbose := fs.Bool("verbose", false, "print consoles and injection log")
 	if err := fs.Parse(args); err != nil {
@@ -180,6 +208,9 @@ func cmdInject(args []string) error {
 	}
 	plan, err := resolvePlan(*planName, *planFile)
 	if err != nil {
+		return err
+	}
+	if err := applyFault(plan, *fault); err != nil {
 		return err
 	}
 	res, err := core.RunExperiment(plan, *seed)
@@ -280,6 +311,7 @@ func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	planName := fs.String("plan", "E3-fig3", "test plan name")
 	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	fault := fs.String("fault", "", "fault model override (see 'certify plans' for the registry)")
 	runs := fs.Int("runs", 100, "number of runs (total across all shards)")
 	seed := fs.Uint64("seed", 2022, "master seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
@@ -293,6 +325,9 @@ func cmdCampaign(args []string) error {
 	}
 	plan, err := resolvePlan(*planName, *planFile)
 	if err != nil {
+		return err
+	}
+	if err := applyFault(plan, *fault); err != nil {
 		return err
 	}
 	cf := &campaignFlags{
@@ -466,6 +501,7 @@ func cmdFanout(args []string) error {
 	fs := flag.NewFlagSet("fanout", flag.ContinueOnError)
 	planName := fs.String("plan", "E3-fig3", "test plan name")
 	planFile := fs.String("planfile", "", "load the plan from a plan file instead")
+	fault := fs.String("fault", "", "fault model override (see 'certify plans' for the registry)")
 	runs := fs.Int("runs", 100, "number of runs (total across all shards)")
 	seed := fs.Uint64("seed", 2022, "master seed")
 	shards := fs.Int("shards", 4, "shard worker count K")
@@ -484,6 +520,9 @@ func cmdFanout(args []string) error {
 	}
 	plan, err := resolvePlan(*planName, *planFile)
 	if err != nil {
+		return err
+	}
+	if err := applyFault(plan, *fault); err != nil {
 		return err
 	}
 	ff := &fanoutFlags{

@@ -33,6 +33,18 @@ const (
 	// OutcomePanicPark: the fault propagated system-wide — hypervisor
 	// panic_stop or root kernel panic. Figure 3's "panic park".
 	OutcomePanicPark
+	// OutcomeHypervisorTrap: the fault corrupted hypervisor-private state
+	// and the hypervisor itself took an internal HYP-mode trap — caught
+	// by its vector, offending CPU parked, machine alive.
+	OutcomeHypervisorTrap
+	// OutcomeMachineWedge: the machine stopped making progress — the
+	// engine's bounded-progress watchdog tripped on a livelocked event
+	// loop (e.g. an interrupt storm the system could not shed).
+	OutcomeMachineWedge
+	// OutcomeSimFault: the *simulation* failed — a recovered Go panic
+	// during the run. Not a verdict about the hypervisor; recorded
+	// truthfully so defective runs are visible instead of fatal.
+	OutcomeSimFault
 	numOutcomes
 )
 
@@ -43,6 +55,9 @@ var outcomeNames = map[Outcome]string{
 	OutcomeInconsistent:      "inconsistent",
 	OutcomeCPUPark:           "cpu-park",
 	OutcomePanicPark:         "panic-park",
+	OutcomeHypervisorTrap:    "hypervisor-trap",
+	OutcomeMachineWedge:      "machine-wedge",
+	OutcomeSimFault:          "sim-fault",
 }
 
 // String implements fmt.Stringer.
@@ -82,12 +97,25 @@ func Classify(m *Machine) Verdict {
 		ev = append(ev, fmt.Sprintf(format, args...))
 	}
 
-	// 1. System-wide death: hypervisor panic_stop or root kernel panic.
+	// 0. Simulation fault: a recovered Go panic during the run. The
+	// machine state below it is unreliable, so this verdict comes first
+	// and is never mistaken for a hypervisor failure mode.
+	if why := m.SimFault(); why != "" {
+		addf("simulation fault (recovered Go panic): %s", why)
+		return Verdict{Outcome: OutcomeSimFault, Evidence: ev}
+	}
+
+	// 1. System-wide death: hypervisor panic_stop, a wedged (livelocked)
+	// machine, or a root kernel panic.
 	if panicked, why := m.HV.Panicked(); panicked {
 		addf("hypervisor panic_stop: %s", why)
 		return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
 	}
 	if halted, why := m.Board.Engine.Halted(); halted {
+		if strings.HasPrefix(why, "machine wedge") {
+			addf("bounded-progress watchdog: %s", why)
+			return Verdict{Outcome: OutcomeMachineWedge, Evidence: ev}
+		}
 		addf("machine halted: %s", why)
 		return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
 	}
@@ -100,6 +128,14 @@ func Classify(m *Machine) Verdict {
 			addf("root kernel dead: %s", why)
 			return Verdict{Outcome: OutcomePanicPark, Evidence: ev}
 		}
+	}
+
+	// 1b. Internal hypervisor trap: corrupted firmware reached in a
+	// handler, caught by the HYP vector. The offending CPU is parked as a
+	// consequence, so this check precedes the generic park branch.
+	if n := m.HV.HypTraps(); n > 0 {
+		addf("%d internal HYP-mode trap(s); hypervisor caught them and parked the CPU", n)
+		return Verdict{Outcome: OutcomeHypervisorTrap, Evidence: ev}
 	}
 
 	// 2. Parked non-root CPU. If the cell had produced workload output

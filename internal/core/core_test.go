@@ -382,14 +382,17 @@ func TestRunExperimentDeterministicPerSeed(t *testing.T) {
 
 func TestOutcomeNamesAndOrder(t *testing.T) {
 	all := AllOutcomes()
-	if len(all) != 6 {
-		t.Fatalf("outcome classes = %d, want 6", len(all))
+	if len(all) != 9 {
+		t.Fatalf("outcome classes = %d, want 9", len(all))
 	}
 	want := map[Outcome]string{
-		OutcomeCorrect:     "correct",
-		OutcomePanicPark:   "panic-park",
-		OutcomeCPUPark:     "cpu-park",
-		OutcomeInvalidArgs: "invalid-arguments",
+		OutcomeCorrect:        "correct",
+		OutcomePanicPark:      "panic-park",
+		OutcomeCPUPark:        "cpu-park",
+		OutcomeInvalidArgs:    "invalid-arguments",
+		OutcomeHypervisorTrap: "hypervisor-trap",
+		OutcomeMachineWedge:   "machine-wedge",
+		OutcomeSimFault:       "sim-fault",
 	}
 	for o, name := range want {
 		if o.String() != name {

@@ -117,6 +117,8 @@ func (m *Machine) StateDigest() uint64 {
 	panicked, panicMsg := hv.Panicked()
 	f.b(panicked)
 	f.str(panicMsg)
+	f.b(hv.FirmwareTainted())
+	f.u64(hv.HypTraps())
 	f.u64(uint64(hv.NextCellID()))
 	for _, cpu := range hv.OfflinedCPUs() {
 		f.i64(int64(cpu))
@@ -208,5 +210,6 @@ func (m *Machine) StateDigest() uint64 {
 	}
 
 	f.u64(uint64(m.CellID))
+	f.str(m.simFault)
 	return f.h.Sum64()
 }

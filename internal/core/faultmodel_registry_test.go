@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// TestFaultModelRegistryContents pins the registry surface: the four
+// full-machine models and the register-class family are selectable by
+// name, names come back sorted, and unknown names are rejected at plan
+// validation with the registry listed in the error.
+func TestFaultModelRegistryContents(t *testing.T) {
+	for _, name := range []string{
+		"register", "burst", "ram", "gic", "irq-storm",
+		"stuck-at-0", "stuck-at-1", "intermittent", "double-bit",
+	} {
+		if !FaultModelRegistered(name) {
+			t.Errorf("model %q not registered", name)
+		}
+	}
+	names := FaultModelNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("FaultModelNames not sorted: %v", names)
+		}
+	}
+
+	p := *PlanE3Fig3()
+	p.FaultName = "no-such-model"
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if !strings.Contains(err.Error(), "irq-storm") {
+		t.Errorf("rejection does not list the registry: %v", err)
+	}
+}
+
+// TestFaultNamePlanFileRoundTrip pins the plan-file encoding: non-default
+// models write a fault key and parse back; the default register model
+// writes no key at all, and an explicit "register" in a plan file
+// canonicalises to the empty spelling — both keep pre-registry plan
+// hashes bit-identical.
+func TestFaultNamePlanFileRoundTrip(t *testing.T) {
+	p := *PlanE3Fig3()
+	p.FaultName = "ram"
+	text := MarshalPlan(&p)
+	if !strings.Contains(text, "fault") {
+		t.Fatalf("plan file lost the fault key:\n%s", text)
+	}
+	back, err := ParsePlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FaultName != "ram" {
+		t.Fatalf("round-trip FaultName = %q, want ram", back.FaultName)
+	}
+	if back.Hash() != p.Hash() {
+		t.Fatal("round-trip changed the plan hash")
+	}
+
+	// The default model is the absence of the key.
+	q := *PlanE3Fig3()
+	if strings.Contains(MarshalPlan(&q), "fault ") {
+		t.Fatalf("default plan writes a fault key:\n%s", MarshalPlan(&q))
+	}
+	explicit := *PlanE3Fig3()
+	explicit.FaultName = "register"
+	if explicit.Hash() != q.Hash() {
+		t.Fatal("explicit register model changed the plan hash")
+	}
+	reparsed, err := ParsePlan(MarshalPlan(&q) + "fault     = register\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed.FaultName != "" {
+		t.Fatalf("explicit register not canonicalised: FaultName = %q", reparsed.FaultName)
+	}
+}
+
+// TestRegisterFactoryMatchesIntensityModel proves the registry's default
+// factory is the paper's intensity-derived model: same rng stream, same
+// planned flips.
+func TestRegisterFactoryMatchesIntensityModel(t *testing.T) {
+	p := *PlanE3Fig3()
+	p.FaultName = DefaultFaultModelName
+	viaRegistry := newFaultModelFor(&p)
+	direct := p.Intensity.Model(p.Fields)
+	for seed := uint64(1); seed <= 8; seed++ {
+		s1, s2 := seed, seed
+		a := viaRegistry.Plan(sim.NewRNG(sim.SplitMix64(&s1)))
+		b := direct.Plan(sim.NewRNG(sim.SplitMix64(&s2)))
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: registry planned %d flips, direct %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d flip %d: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRegistryPreservesGoldenResults is the anchor the whole registry
+// refactor must not move: with the default register model — selected
+// explicitly, through the registry — the fault-free golden run still
+// hashes to the PR 1 baseline, and the paper's E3/Figure-3 campaign
+// still lands 23 correct / 1 inconsistent / 16 panic-park over 40 runs
+// with 56 injections.
+func TestRegistryPreservesGoldenResults(t *testing.T) {
+	gp, err := GoldenRun(2022, sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.TraceHash != goldenMinuteTraceHash {
+		t.Fatalf("golden trace hash = %#x, want %#x", gp.TraceHash, goldenMinuteTraceHash)
+	}
+	if testing.Short() {
+		t.Skip("full-duration campaign")
+	}
+	plan := *PlanE3Fig3()
+	plan.FaultName = "register" // explicit spelling of the default
+	c := &Campaign{Plan: &plan, Runs: 40, MasterSeed: 2022, Mode: ModeDistribution}
+	res, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Outcome]int{
+		OutcomeCorrect:      23,
+		OutcomeInconsistent: 1,
+		OutcomePanicPark:    16,
+	}
+	for _, o := range AllOutcomes() {
+		if res.Count(o) != want[o] {
+			t.Fatalf("count(%v) = %d, want %d", o, res.Count(o), want[o])
+		}
+	}
+	if res.Total() != 40 || res.InjectionsTotal() != 56 {
+		t.Fatalf("total=%d injections=%d, want 40/56", res.Total(), res.InjectionsTotal())
+	}
+}

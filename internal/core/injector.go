@@ -18,10 +18,18 @@ type InjectionRecord struct {
 	Fields []armv7.Field
 	Damage jailhouse.Damage
 	CallNo uint64 // which matching call triggered it
+
+	// Note describes a machine-level fault (MachineFaulter models); empty
+	// for the register-flip models.
+	Note string
 }
 
 // String renders the record for logs.
 func (r InjectionRecord) String() string {
+	if r.Note != "" {
+		return fmt.Sprintf("%s inject@%s cpu%d cell=%s call#%d %s",
+			r.At, r.Point, r.CPU, r.Cell, r.CallNo, r.Note)
+	}
 	names := make([]string, len(r.Fields))
 	for i, f := range r.Fields {
 		names[i] = armv7.FieldName(f)
@@ -48,6 +56,10 @@ type Injector struct {
 	calls     map[jailhouse.InjectionPoint]uint64
 	records   []InjectionRecord
 	callTotal uint64
+
+	// machine is the bound experiment target for machine-level fault
+	// models (MachineFaulter); nil for pure register models.
+	machine *Machine
 }
 
 // NewInjector builds an injector for the plan. rng must be the target
@@ -88,6 +100,11 @@ func (in *Injector) ArmWindow(from, until sim.Time) {
 
 // Disarm stops all future injections.
 func (in *Injector) Disarm() { in.armed = false }
+
+// BindMachine attaches the experiment target so machine-level fault
+// models (MachineFaulter) can reach RAM, the GIC, the guests and the
+// event queue. Register models ignore the binding.
+func (in *Injector) BindMachine(m *Machine) { in.machine = m }
 
 // Records returns the performed injections.
 func (in *Injector) Records() []InjectionRecord {
@@ -143,6 +160,21 @@ func (in *Injector) Hook(point jailhouse.InjectionPoint, cpu int, cell string, c
 		return jailhouse.InjectionResult{}
 	}
 	if (in.callTotal+in.phase)%uint64(in.plan.EffectiveRate()) != 0 {
+		return jailhouse.InjectionResult{}
+	}
+
+	if mf, ok := in.model.(MachineFaulter); ok && in.machine != nil {
+		note := mf.ApplyMachine(in.machine, in.rng, point, cpu)
+		in.machine.Board.Trace().Addf(in.now(), sim.KindInjection, cpu,
+			"%s: machine fault: %s", sim.Str(point.String()), sim.Str(note))
+		in.records = append(in.records, InjectionRecord{
+			At:     in.now(),
+			Point:  point,
+			CPU:    cpu,
+			Cell:   cell,
+			CallNo: in.callTotal,
+			Note:   note,
+		})
 		return jailhouse.InjectionResult{}
 	}
 

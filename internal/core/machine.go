@@ -36,6 +36,11 @@ type Machine struct {
 	// control blocks. rtosNext is the next arena slot to hand out.
 	rtosArena []*freertos.Kernel
 	rtosNext  int
+
+	// simFault records a Go panic recovered during Run — a defect in the
+	// simulation itself, surfaced as a truthful sim-fault outcome instead
+	// of killing the campaign worker.
+	simFault string
 }
 
 // MachineOptions tunes the assembly.
@@ -135,6 +140,7 @@ func (m *Machine) DeepReset(opts MachineOptions) error {
 	m.RTOS = nil
 	m.CellID = 0
 	m.rtosNext = 0
+	m.simFault = ""
 	return m.boot(opts)
 }
 
@@ -239,7 +245,20 @@ func inmateImage() []byte {
 
 // Run executes the machine for the given virtual duration. A halted
 // engine (hypervisor panic_stop) is not an error at this level — it is
-// an experiment outcome.
+// an experiment outcome. A Go panic escaping the event loop — the
+// simulation itself failing under an injected fault — is recovered here,
+// halts the engine, and classifies as sim-fault: one bad run must never
+// kill a shard worker or poison a campaign aggregate.
 func (m *Machine) Run(d sim.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.simFault = fmt.Sprintf("%v", r)
+			m.Board.Engine.Halt("sim fault: " + m.simFault)
+		}
+	}()
 	_ = m.Board.Engine.Run(m.Board.Now() + d)
 }
+
+// SimFault returns the recovered panic message of a simulation fault
+// during Run, or "" for a healthy run.
+func (m *Machine) SimFault() string { return m.simFault }

@@ -45,6 +45,12 @@ type TestPlan struct {
 	// Workload selects the root-cell activity.
 	Workload WorkloadKind
 
+	// FaultName selects a registered fault model by name ("" = the
+	// paper's intensity-derived register bit-flip model). Named models
+	// are recorded in the plan file and therefore in TestPlan.Hash, so
+	// shard artefacts from different models can never be merged.
+	FaultName string
+
 	// custom overrides the intensity-derived fault model when set (see
 	// NewCustomPlan); nil uses the paper's models.
 	custom FaultModel
@@ -97,12 +103,29 @@ func (p *TestPlan) EffectiveDuration() sim.Time {
 }
 
 // Model builds the plan's fault model: the paper's intensity-derived
-// bit-flip models, unless a custom model was attached via NewCustomPlan.
+// bit-flip models, unless a custom model was attached via NewCustomPlan
+// or a registered model was selected by name (FaultName).
 func (p *TestPlan) Model() FaultModel {
 	if p.custom != nil {
 		return p.custom
 	}
+	if p.FaultName != "" && p.FaultName != DefaultFaultModelName {
+		if m := newFaultModelFor(p); m != nil {
+			return m
+		}
+	}
 	return p.Intensity.Model(p.Fields)
+}
+
+// EffectiveFaultName returns the registry name of the model the plan will
+// run — the identity shard manifests record. Custom in-process models
+// (NewCustomPlan) report the default name, matching their plan-file
+// rendering.
+func (p *TestPlan) EffectiveFaultName() string {
+	if p.custom != nil || p.FaultName == "" {
+		return DefaultFaultModelName
+	}
+	return p.FaultName
 }
 
 // TargetsPoint reports whether the plan instruments the given function.
@@ -131,6 +154,10 @@ func (p *TestPlan) Validate() error {
 	}
 	if p.TargetCPU < AnyCPU {
 		return fmt.Errorf("core: plan %q has invalid target cpu", p.Name)
+	}
+	if p.FaultName != "" && !FaultModelRegistered(p.FaultName) {
+		return fmt.Errorf("core: plan %q selects unknown fault model %q (known: %s)",
+			p.Name, p.FaultName, strings.Join(FaultModelNames(), ", "))
 	}
 	return nil
 }

@@ -45,6 +45,12 @@ func MarshalPlan(p *TestPlan) string {
 	fmt.Fprintf(&b, "fields    = %s\n", fieldSetName(p.Fields))
 	fmt.Fprintf(&b, "duration  = %s\n", p.EffectiveDuration().Duration())
 	fmt.Fprintf(&b, "workload  = %s\n", p.Workload)
+	// The fault key is emitted only for non-default models: the default
+	// rendering (and so every pre-registry plan hash and artefact) stays
+	// byte-identical.
+	if p.FaultName != "" && p.FaultName != DefaultFaultModelName {
+		fmt.Fprintf(&b, "fault     = %s\n", p.FaultName)
+	}
 	return b.String()
 }
 
@@ -141,6 +147,14 @@ func applyPlanKey(p *TestPlan, key, value string) error {
 			return fmt.Errorf("bad duration %q", value)
 		}
 		p.Duration = sim.Time(d)
+	case "fault":
+		if value != "" && !FaultModelRegistered(value) {
+			return fmt.Errorf("unknown fault model %q (known: %s)", value, strings.Join(FaultModelNames(), ", "))
+		}
+		if value == DefaultFaultModelName {
+			value = "" // canonical: the default model is the absent key
+		}
+		p.FaultName = value
 	case "workload":
 		switch value {
 		case "steady":

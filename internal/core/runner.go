@@ -125,6 +125,7 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 		from += 2 * sim.Second
 	}
 	inj.ArmWindow(from, m.Board.Now()+plan.EffectiveDuration())
+	inj.BindMachine(m)
 	m.HV.Hook = inj.Hook
 
 	m.Run(plan.EffectiveDuration())
@@ -192,7 +193,8 @@ func acquireMachine(ro RunOptions, opts MachineOptions) (*Machine, func(), error
 	}
 }
 
-// detectionLatency measures first-injection → first park/panic evidence.
+// detectionLatency measures first-injection → first detection evidence:
+// a park, a panic, an internal HYP trap or the bounded-progress watchdog.
 // first is the virtual time of the first injection (-1 when none
 // happened). The trace is scanned in place without rendering messages.
 func detectionLatency(m *Machine, first sim.Time) sim.Time {
@@ -201,9 +203,12 @@ func detectionLatency(m *Machine, first sim.Time) sim.Time {
 	}
 	latency := sim.Time(-1)
 	m.Board.Trace().ScanMeta(func(at sim.Time, kind sim.Kind, _ int) bool {
-		if (kind == sim.KindPark || kind == sim.KindPanic) && at >= first {
-			latency = at - first
-			return false
+		switch kind {
+		case sim.KindPark, sim.KindPanic, sim.KindHypTrap, sim.KindWedge:
+			if at >= first {
+				latency = at - first
+				return false
+			}
 		}
 		return true
 	})

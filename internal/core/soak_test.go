@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// soakModels are the four full-machine fault models this harness must
+// prove panic-free: whatever state they corrupt, every run ends in a
+// taxonomy verdict — worst case sim-fault, never a dead test process.
+var soakModels = []string{"burst", "ram", "gic", "irq-storm"}
+
+// soakPlans are the experiment bases the sweep crosses the models with:
+// the paper's E3 cell-trap stream, E1's root-context management
+// workload, and E2's bring-up window — all cut to 8 virtual seconds.
+func soakPlans() []*TestPlan {
+	var out []*TestPlan
+	for _, base := range []*TestPlan{PlanE3Fig3(), PlanE1HVC(), PlanE2Core1()} {
+		p := *base
+		p.Name = "soak-" + p.Name
+		p.Duration = 8 * sim.Second
+		out = append(out, &p)
+	}
+	return out
+}
+
+// soakEnvInt reads an integer knob from the environment, so scripts/
+// soak.sh can scale the same sweep from a CI smoke to a 10k-run soak.
+func soakEnvInt(t *testing.T, key string, def int) int {
+	v := os.Getenv(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("%s=%q: want a positive integer", key, v)
+	}
+	return n
+}
+
+// TestSoakFaultModels sweeps every full-machine model across every
+// experiment base as parallel distribution-mode campaigns and asserts
+// the graceful-degradation contract in aggregate: no campaign errors,
+// no run lost, and zero sim-fault verdicts — i.e. zero recovered Go
+// panics anywhere in the machine under any model. Run counts scale
+// with CERTIFY_SOAK_RUNS (per model×plan combination) and the seed
+// base with CERTIFY_SOAK_SEED, so one binary serves both the default
+// CI smoke and the scripts/soak.sh 10k-run campaign.
+func TestSoakFaultModels(t *testing.T) {
+	runs := soakEnvInt(t, "CERTIFY_SOAK_RUNS", 12)
+	seed := uint64(soakEnvInt(t, "CERTIFY_SOAK_SEED", 1))
+	if testing.Short() && os.Getenv("CERTIFY_SOAK_RUNS") == "" {
+		runs = 4
+	}
+	total := 0
+	for _, model := range soakModels {
+		for _, base := range soakPlans() {
+			model, base := model, base
+			t.Run(fmt.Sprintf("%s/%s", model, base.Name), func(t *testing.T) {
+				t.Parallel()
+				plan := *base
+				plan.FaultName = model
+				if err := plan.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				c := &Campaign{Plan: &plan, Runs: runs, MasterSeed: seed + plan.Hash(), Mode: ModeDistribution}
+				res, err := c.Execute(context.Background())
+				if err != nil {
+					t.Fatalf("campaign error: %v", err)
+				}
+				if res.Total() != runs {
+					t.Fatalf("campaign lost runs: %d of %d", res.Total(), runs)
+				}
+				if n := res.Count(OutcomeSimFault); n != 0 {
+					t.Fatalf("%d sim-fault run(s): a fault model panicked inside the machine", n)
+				}
+			})
+			total += runs
+		}
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			t.Logf("soak: %d runs across %d models x %d plans, zero sim-faults",
+				total, len(soakModels), len(soakPlans()))
+		}
+	})
+}
+
+// FuzzFaultInjection randomises the model x seed x experiment triple
+// and holds every draw to the soak contract, plus the reproducibility
+// one: the run must not error, must not end in sim-fault, and must
+// replay to the identical trace hash. `go test -fuzz=FuzzFaultInjection`
+// explores beyond the checked-in corpus; a plain `go test` run replays
+// the corpus as regression seeds.
+func FuzzFaultInjection(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0))
+	f.Add(uint64(2022), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(2), uint8(2))
+	f.Add(uint64(0xDEAD), uint8(3), uint8(0))
+	f.Add(uint64(0), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, modelIdx, planIdx uint8) {
+		model := soakModels[int(modelIdx)%len(soakModels)]
+		plan := *soakPlans()[int(planIdx)%len(soakPlans())]
+		plan.FaultName = model
+		opts := RunOptions{CaptureTraceHash: true}
+		a, err := RunExperimentOpts(&plan, seed, opts)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", model, seed, err)
+		}
+		if a.Outcome() == OutcomeSimFault {
+			t.Fatalf("%s seed %d: fault model panicked inside the machine:\n%v",
+				model, seed, a.Verdict.Evidence)
+		}
+		b, err := RunExperimentOpts(&plan, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TraceHash != b.TraceHash || a.Outcome() != b.Outcome() {
+			t.Fatalf("%s seed %d: replay diverged: %v/%#x vs %v/%#x",
+				model, seed, a.Outcome(), a.TraceHash, b.Outcome(), b.TraceHash)
+		}
+	})
+}

@@ -423,6 +423,66 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 	}
 }
 
+// TestMergeRejectsCrossModelShardSets pins satellite robustness: shard
+// artefacts carry their fault-model identity, absent fields normalise
+// to the default register model (pre-registry artefacts stay mergeable),
+// and Merge refuses shard sets whose models disagree — by name, even
+// when every other identity field matches.
+func TestMergeRejectsCrossModelShardSets(t *testing.T) {
+	spec := &Spec{Plan: shortE3(), Runs: 4, MasterSeed: 11, Shards: 2, Mode: core.ModeDistribution}
+
+	// Manifest-level normalisation: "" and "register" are one identity;
+	// any other name is a different campaign.
+	sh, err := spec.Shard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := sh.Manifest()
+	if man.FaultModel != "" {
+		t.Fatalf("register-model manifest writes fault_model %q, want omitted", man.FaultModel)
+	}
+	explicit := man
+	explicit.FaultModel = core.DefaultFaultModelName
+	if !man.sameCampaign(explicit) || !man.matches(explicit) {
+		t.Error("explicit register model not recognised as the default identity")
+	}
+	foreign := man
+	foreign.FaultModel = "ram"
+	if man.sameCampaign(foreign) || man.matches(foreign) {
+		t.Error("disagreeing fault models accepted as one campaign")
+	}
+	if d := man.campaignDiff(foreign); !strings.Contains(d, "fault model") {
+		t.Errorf("campaignDiff does not name the fault model: %q", d)
+	}
+
+	// End to end: two shards of one campaign, one manifest doctored to
+	// claim another model. Merge must refuse and say why.
+	dir := t.TempDir()
+	paths := make([]string, spec.Shards)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		if _, _, err := ExecuteShard(context.Background(), spec, i, 0, paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data),
+		`"mode":"distribution"`, `"mode":"distribution","fault_model":"ram"`, 1)
+	if doctored == string(data) {
+		t.Fatal("manifest line did not contain the expected mode field")
+	}
+	if err := os.WriteFile(paths[1], []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Merge(paths)
+	if err == nil || !strings.Contains(err.Error(), "fault model") {
+		t.Errorf("cross-model merge not refused by model name: %v", err)
+	}
+}
+
 // TestJSONLTranscriptRetention pins the evidence contract: full-mode
 // shards embed transcripts in their records, distribution-mode shards
 // stay lean — the streaming writer restores *per-run* evidence at

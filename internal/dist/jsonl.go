@@ -44,6 +44,20 @@ type Manifest struct {
 	Start      int    `json:"start"`       // first global run index, inclusive
 	End        int    `json:"end"`         // last global run index, exclusive
 	Mode       string `json:"mode"`        // evidence retention mode
+
+	// FaultModel is the registry name of the fault model the shard ran.
+	// Omitted (and read back as "") by pre-registry writers; "" and
+	// "register" are the same identity, so old artefacts stay mergeable.
+	FaultModel string `json:"fault_model,omitempty"`
+}
+
+// faultModelID normalises the manifest's fault-model identity: absent
+// (pre-registry artefact) means the default register model.
+func (m Manifest) faultModelID() string {
+	if m.FaultModel == "" {
+		return core.DefaultFaultModelName
+	}
+	return m.FaultModel
 }
 
 // matches reports whether two manifests describe the same shard of the
@@ -52,7 +66,8 @@ func (m Manifest) matches(o Manifest) bool {
 	return m.Schema == o.Schema && m.PlanHash == o.PlanHash &&
 		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
 		m.Shards == o.Shards && m.Shard == o.Shard &&
-		m.Start == o.Start && m.End == o.End && m.Mode == o.Mode
+		m.Start == o.Start && m.End == o.End && m.Mode == o.Mode &&
+		m.faultModelID() == o.faultModelID()
 }
 
 // diff names the fields where m and o disagree, for error messages that
@@ -73,6 +88,7 @@ func (m Manifest) diff(o Manifest) string {
 	add("window start", m.Start, o.Start)
 	add("window end", m.End, o.End)
 	add("mode", m.Mode, o.Mode)
+	add("fault model", m.faultModelID(), o.faultModelID())
 	if len(parts) == 0 {
 		return "identical manifests"
 	}
@@ -84,7 +100,28 @@ func (m Manifest) diff(o Manifest) string {
 func (m Manifest) sameCampaign(o Manifest) bool {
 	return m.Schema == o.Schema && m.PlanHash == o.PlanHash &&
 		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
-		m.Shards == o.Shards && m.Mode == o.Mode
+		m.Shards == o.Shards && m.Mode == o.Mode &&
+		m.faultModelID() == o.faultModelID()
+}
+
+// campaignDiff names the campaign-identity fields where m and o disagree
+// (shard-window fields excluded — those legitimately differ between
+// shards of one campaign). Empty when sameCampaign would be true.
+func (m Manifest) campaignDiff(o Manifest) string {
+	var parts []string
+	add := func(field string, a, b any) {
+		if a != b {
+			parts = append(parts, fmt.Sprintf("%s %v vs %v", field, a, b))
+		}
+	}
+	add("schema", m.Schema, o.Schema)
+	add("plan hash", m.PlanHash, o.PlanHash)
+	add("master seed", m.MasterSeed, o.MasterSeed)
+	add("runs", m.Runs, o.Runs)
+	add("shards", m.Shards, o.Shards)
+	add("mode", m.Mode, o.Mode)
+	add("fault model", m.faultModelID(), o.faultModelID())
+	return strings.Join(parts, ", ")
 }
 
 // RunRecord is one line per classified run — the per-run evidence the

@@ -253,9 +253,8 @@ func Merge(paths []string) (*core.CampaignResult, []*ShardFile, error) {
 	for _, sf := range shards {
 		if !sf.Manifest.sameCampaign(ref) {
 			return nil, shards, fmt.Errorf(
-				"dist: %s belongs to a different campaign than %s (plan hash %s vs %s, seed %s vs %s)",
-				sf.Path, shards[0].Path, sf.Manifest.PlanHash, ref.PlanHash,
-				sf.Manifest.MasterSeed, ref.MasterSeed)
+				"dist: %s belongs to a different campaign than %s (%s)",
+				sf.Path, shards[0].Path, sf.Manifest.campaignDiff(ref))
 		}
 		if dup := byIndex[sf.Manifest.Shard]; dup != nil {
 			return nil, shards, fmt.Errorf("dist: shard %d appears twice (%s and %s)",

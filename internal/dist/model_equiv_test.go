@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// TestShardedCampaignMatchesSerialPerModel extends the subsystem's core
+// promise to the full-machine fault space: for every pluggable model and
+// K ∈ {1, 3}, the sharded campaign reproduces the serial one exactly —
+// same outcome distribution, same injection total, and the same trace
+// hash for every run index — and every shard manifest carries the
+// model's identity so cross-model merges stay refusable.
+func TestShardedCampaignMatchesSerialPerModel(t *testing.T) {
+	const runs, seed = 9, uint64(0xC0FFEE)
+	for _, model := range []string{"burst", "ram", "gic", "irq-storm"} {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			plan := shortE3()
+			plan.FaultName = model
+			plan.Name = "equiv-" + model
+			if err := plan.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			serial, serialHashes := serialReference(t, plan, runs, seed, core.ModeDistribution)
+			if len(serialHashes) != runs {
+				t.Fatalf("serial reference produced %d hashes, want %d", len(serialHashes), runs)
+			}
+			for _, k := range []int{1, 3} {
+				t.Run(fmt.Sprintf("shards-%d", k), func(t *testing.T) {
+					spec := &Spec{Plan: plan, Runs: runs, MasterSeed: seed, Shards: k, Mode: core.ModeDistribution}
+					merged, shards := runSharded(t, spec, t.TempDir())
+
+					if merged.Total() != serial.Total() || merged.InjectionsTotal() != serial.InjectionsTotal() {
+						t.Fatalf("merged total/injections = %d/%d, serial = %d/%d",
+							merged.Total(), merged.InjectionsTotal(), serial.Total(), serial.InjectionsTotal())
+					}
+					for _, o := range core.AllOutcomes() {
+						if merged.Count(o) != serial.Count(o) {
+							t.Errorf("count(%v) = %d sharded, %d serial", o, merged.Count(o), serial.Count(o))
+						}
+					}
+					seen := 0
+					for _, sf := range shards {
+						if got := sf.Manifest.FaultModel; got != model {
+							t.Fatalf("%s: manifest fault_model = %q, want %q", sf.Path, got, model)
+						}
+						for idx, hash := range sf.TraceHashes {
+							if hash != serialHashes[idx] {
+								t.Fatalf("run %d: trace hash %#x sharded, %#x serial",
+									idx, hash, serialHashes[idx])
+							}
+							seen++
+						}
+					}
+					if seen != runs {
+						t.Fatalf("shard artefacts cover %d runs, want %d", seen, runs)
+					}
+				})
+			}
+		})
+	}
+}

@@ -145,5 +145,17 @@ func (sh Shard) Manifest() Manifest {
 		Start:      sh.Start,
 		End:        sh.End,
 		Mode:       sh.Spec.Mode.String(),
+		FaultModel: manifestFaultModel(sh.Spec.Plan),
 	}
+}
+
+// manifestFaultModel renders the plan's fault-model identity for the
+// manifest. The default register model is written as "" (omitted by
+// omitempty) so register-model artefacts stay byte-identical to files
+// written before the fault-model registry existed.
+func manifestFaultModel(p *core.TestPlan) string {
+	if name := p.EffectiveFaultName(); name != core.DefaultFaultModelName {
+		return name
+	}
+	return ""
 }

@@ -175,6 +175,26 @@ func (k *Kernel) Queues() []*Queue {
 	return out
 }
 
+// CorruptRandomTCB damages one random task control block in place — the
+// RAM fault model's guest-heap stratum. Most draws flip a bit in a
+// working register, which the task's own configASSERT-style checks catch
+// (task assert, silent degradation); a low draw smashes the stack canary,
+// which the scheduler's context-switch check escalates to a kernel-level
+// assert. Returns a description of the damage for the injection log.
+func (k *Kernel) CorruptRandomTCB(rng *sim.RNG) string {
+	if len(k.tasks) == 0 {
+		return "no tasks to corrupt"
+	}
+	t := k.tasks[rng.Intn(len(k.tasks))]
+	if rng.Bool(0.25) {
+		t.stackGuard ^= 1 << uint(rng.Intn(32))
+		return "stack canary of task " + t.Name
+	}
+	slot := rng.Intn(len(t.Work))
+	t.Work[slot] ^= 1 << uint(rng.Intn(32))
+	return fmt.Sprintf("work register %d of task %s", slot, t.Name)
+}
+
 // CreateTask registers a task. Must be called before Boot completes
 // (tasks created later are accepted but start on the next tick).
 func (k *Kernel) CreateTask(name string, priority int, step StepFunc) *TCB {

@@ -194,6 +194,17 @@ func (l *Linux) OnCorruptedResume(cpu int, fields []int) {
 	}
 }
 
+// KernelTextFault models a RAM fault landing in the root kernel's text:
+// the next instruction fetch through the damaged cache line executes
+// garbage and the kernel oopses — the same death rattle as fatal register
+// corruption, attributed to the faulted address.
+func (l *Linux) KernelTextFault(addr uint64) {
+	if l.paniced || !l.booted {
+		return
+	}
+	l.oops(0, fmt.Sprintf("text@%#x", addr))
+}
+
 // oops prints the kernel's death rattle and stops root activity. The
 // hypervisor survives a root *guest* crash — but every management
 // operation is gone with the root cell, so the run is over for the

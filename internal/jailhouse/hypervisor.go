@@ -105,6 +105,13 @@ type Hypervisor struct {
 
 	// ivshmem holds the registered inter-cell shared-memory links.
 	ivshmem []*IvshmemLink
+
+	// fwTainted records that the hypervisor's private firmware region was
+	// corrupted (a RAM fault into the control-block stratum). The next
+	// handler entry executes the damaged code path and takes an internal
+	// HYP-mode trap; hypTraps counts those events.
+	fwTainted bool
+	hypTraps  uint64
 }
 
 // New returns a hypervisor bound to a board, not yet enabled.
@@ -164,6 +171,36 @@ func (h *Hypervisor) DeepReset() {
 		h.ivshmem[i] = nil
 	}
 	h.ivshmem = h.ivshmem[:0]
+	h.fwTainted = false
+	h.hypTraps = 0
+}
+
+// TaintFirmware marks the hypervisor's firmware region as corrupted (the
+// RAM fault model's control-block stratum). The damage is latent: it
+// manifests as an internal HYP-mode trap on the next handler entry.
+func (h *Hypervisor) TaintFirmware(reason string) {
+	if !h.fwTainted {
+		h.fwTainted = true
+		h.trace(sim.KindInjection, -1, "firmware region corrupted: %s", sim.Str(reason))
+	}
+}
+
+// FirmwareTainted reports whether TaintFirmware was called since the last
+// reset — observable state the equivalence digest covers.
+func (h *Hypervisor) FirmwareTainted() bool { return h.fwTainted }
+
+// HypTraps returns how many internal HYP-mode traps the corrupted
+// firmware has produced.
+func (h *Hypervisor) HypTraps() uint64 { return h.hypTraps }
+
+// hypTrap models an unexpected exception inside the hypervisor itself:
+// the HYP vector catches it, logs it, and parks the offending CPU — the
+// recoverable-trap path, distinct from panic_stop's machine-wide death.
+func (h *Hypervisor) hypTrap(cpu int, reason string) {
+	h.hypTraps++
+	h.consolef("Unhandled HYP trap on CPU %d: %s", cpu, reason)
+	h.trace(sim.KindHypTrap, cpu, "internal HYP trap: %s", sim.Str(reason))
+	h.cpuPark(cpu, "internal HYP trap")
 }
 
 // NextCellID returns the ID the next created cell would receive — part
@@ -411,6 +448,10 @@ func (h *Hypervisor) enterHandler(point InjectionPoint, cpu int, reason VMExit, 
 	}
 	if !p.IntegrityOK() {
 		h.panicStop(cpu, fmt.Sprintf("per-CPU data structure corrupted on CPU %d", cpu))
+		return InjectionResult{}, false
+	}
+	if h.fwTainted && !p.Parked {
+		h.hypTrap(cpu, "corrupted firmware text reached in handler prologue")
 		return InjectionResult{}, false
 	}
 	p.count(reason)

@@ -62,15 +62,33 @@ type Engine struct {
 	trace    *Trace
 	halted   bool
 	haltMsg  string
+
+	// wedgeLimit bounds how many events may execute at a single virtual
+	// instant before Run declares the machine wedged. 0 disables the
+	// watchdog. The limit is configuration, not run state: Reset keeps it.
+	wedgeLimit int
 }
+
+// DefaultWedgeLimit is the bounded-progress watchdog threshold new engines
+// start with. Legitimate same-instant bursts (cascaded IRQ deliveries,
+// same-tick reschedules) stay in the tens; a fault that turns the event
+// loop into a zero-delay self-rescheduling cycle blows past this within
+// one virtual instant.
+const DefaultWedgeLimit = 1 << 17
 
 // NewEngine returns an engine at time zero with the given seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng:   NewRNG(seed),
-		trace: NewTrace(),
+		rng:        NewRNG(seed),
+		trace:      NewTrace(),
+		wedgeLimit: DefaultWedgeLimit,
 	}
 }
+
+// SetWedgeLimit tunes the bounded-progress watchdog: the number of events
+// Run may execute at one virtual instant before halting with a machine
+// wedge. 0 disables the watchdog entirely.
+func (e *Engine) SetWedgeLimit(n int) { e.wedgeLimit = n }
 
 // Reset rewinds the engine to time zero with a fresh seed while keeping
 // the event slab, heap and trace buffers allocated — the machine-reuse
@@ -228,7 +246,15 @@ func (e *Engine) pop() (when Time, fn func(), canceled bool) {
 // Run executes events in order until the queue is empty, the horizon is
 // passed, or the engine is halted. The engine's clock ends at exactly
 // horizon when the horizon is reached normally.
+//
+// A bounded-progress watchdog counts events executed without virtual time
+// advancing; past the wedge limit the run halts with a "machine wedge"
+// reason instead of spinning forever — the simulation analogue of a
+// livelocked board that a hardware watchdog would reset. The counters are
+// locals, so the watchdog adds no run state and cannot perturb digests.
 func (e *Engine) Run(horizon Time) error {
+	sameInstant := 0
+	lastNow := e.now
 	for len(e.heap) > 0 {
 		if e.halted {
 			return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
@@ -242,6 +268,14 @@ func (e *Engine) Run(horizon Time) error {
 		}
 		e.now = when
 		fn()
+		if e.now != lastNow {
+			lastNow = e.now
+			sameInstant = 0
+		} else if sameInstant++; e.wedgeLimit > 0 && sameInstant >= e.wedgeLimit {
+			e.trace.Addf(e.now, KindWedge, -1,
+				"machine wedge: %d events without time advancing", Int(int64(sameInstant)))
+			e.Halt(fmt.Sprintf("machine wedge: %d events without time advancing at %v", sameInstant, e.now))
+		}
 	}
 	if e.halted {
 		return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)

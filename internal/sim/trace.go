@@ -26,6 +26,8 @@ const (
 	KindLED
 	KindTask
 	KindNote
+	KindHypTrap
+	KindWedge
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +43,8 @@ var kindNames = map[Kind]string{
 	KindLED:       "LED",
 	KindTask:      "TASK",
 	KindNote:      "NOTE",
+	KindHypTrap:   "HVTRAP",
+	KindWedge:     "WEDGE",
 }
 
 // String returns the short uppercase tag for the kind.

@@ -19,6 +19,11 @@
 #                                    # sequential scan on a 10k-run artefact,
 #                                    # plain and gzip
 #                                    # (BenchmarkDossierRandomAccess)
+#   scripts/bench.sh soak            # not a benchmark: a quick soak gate —
+#                                    # short FuzzFaultInjection sweep plus a
+#                                    # -race -short pass over the fault-model
+#                                    # and graceful-degradation tests. Use
+#                                    # scripts/soak.sh for the 10k-run soak.
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
 #   OUT=mybench.json scripts/bench.sh
 #
@@ -30,6 +35,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-.}"
+# "soak" is a gate, not a benchmark family: short randomized fuzz over
+# the fault-model x seed x experiment space, then the model and
+# degradation tests under the race detector. Exits before any
+# measurement is archived.
+if [ "$PATTERN" = "soak" ]; then
+    echo "== soak gate: short fuzz sweep =="
+    go test ./internal/core -run '^$' -fuzz 'FuzzFaultInjection' -fuzztime "${FUZZTIME:-5s}"
+    echo "== soak gate: -race -short over fault-model tests =="
+    go test -race -short ./internal/core \
+        -run 'TestSoakFaultModels|TestClassifyGracefulDegradation|TestGracefulRunsAreDeterministic|TestFaultModelRegistryContents|TestFaultNamePlanFileRoundTrip|TestRegisterFactoryMatchesIntensityModel'
+    go test -race -short ./internal/dist -run 'TestShardedCampaignMatchesSerialPerModel|TestMergeRejectsCrossModelShardSets'
+    echo "soak gate clean"
+    exit 0
+fi
 # Convenience aliases: "sharded" selects the distributed-campaign
 # family; "fanout" puts the supervised path next to it.
 if [ "$PATTERN" = "sharded" ]; then

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# soak.sh — the panic-free soak campaign over the full-machine fault
+# space: every pluggable fault model x every experiment base x a wide
+# randomized seed sweep, asserting that not a single run anywhere ends
+# in a sim-fault verdict (i.e. zero recovered Go panics inside the
+# machine) and that every model's campaigns replay deterministically.
+#
+# Usage:
+#   scripts/soak.sh                   # ~10k randomized runs + short fuzz
+#   SOAK_RUNS=2000 scripts/soak.sh    # runs per model x experiment combo
+#   SOAK_SEED=7 scripts/soak.sh       # different seed base, same contract
+#   FUZZTIME=30s scripts/soak.sh      # longer randomized fuzz sweep
+#
+# Stages:
+#   1. race-detector pass over the fault-model and degradation tests,
+#      so the soak never archives a "clean" verdict off a racy binary;
+#   2. TestSoakFaultModels scaled by CERTIFY_SOAK_RUNS — with the
+#      default 850 per combo that is 850 x 4 models x 3 experiments =
+#      10200 runs, all distribution-mode parallel campaigns;
+#   3. per-model sharded-vs-serial equivalence (K in {1,3}), proving
+#      the sweep's artefacts are byte-identical however they were cut;
+#   4. a bounded `go test -fuzz` sweep of FuzzFaultInjection exploring
+#      model x seed x experiment triples beyond the checked-in corpus.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_RUNS="${SOAK_RUNS:-850}"
+SOAK_SEED="${SOAK_SEED:-1}"
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== race pass: fault models + graceful degradation =="
+go test -race -short ./internal/core \
+    -run 'TestSoakFaultModels|TestClassifyGracefulDegradation|TestGracefulRunsAreDeterministic|TestFaultModelRegistryContents|TestFaultNamePlanFileRoundTrip|TestRegisterFactoryMatchesIntensityModel'
+
+echo "== soak: ${SOAK_RUNS} runs x 4 models x 3 experiments =="
+CERTIFY_SOAK_RUNS="$SOAK_RUNS" CERTIFY_SOAK_SEED="$SOAK_SEED" \
+    go test ./internal/core -run 'TestSoakFaultModels' -v 2>&1 | grep -E 'soak:|ok|FAIL|---'
+
+echo "== per-model sharded-vs-serial equivalence =="
+go test ./internal/dist -run 'TestShardedCampaignMatchesSerialPerModel'
+
+echo "== randomized fuzz sweep (${FUZZTIME}) =="
+go test ./internal/core -run '^$' -fuzz 'FuzzFaultInjection' -fuzztime "$FUZZTIME"
+
+echo "soak clean: zero sim-faults, deterministic replay under every model"
