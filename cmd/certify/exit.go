@@ -1,0 +1,79 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/dist"
+	"github.com/dessertlab/certify/internal/serve"
+)
+
+// The CLI's documented exit codes. Scripts driving certify (CI gates,
+// fan-out wrappers) branch on these instead of parsing stderr.
+const (
+	exitOK       = 0 // success
+	exitFailure  = 1 // I/O or execution failure
+	exitUsage    = 2 // operator mistake: bad flags, unknown plan, bad combination
+	exitMismatch = 3 // campaign identity mismatch: foreign artefact, corrupt spec
+)
+
+// usageError marks an operator mistake, as opposed to a runtime
+// failure — the distinction exit codes carry.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usage-classed error.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// asUsage reclassifies err as a usage error (nil stays nil).
+func asUsage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return usageError{err}
+}
+
+// parseFlags wraps FlagSet.Parse so malformed flags exit with the usage
+// code. -h/--help passes through as flag.ErrHelp, which main treats as
+// a clean exit after the FlagSet printed its defaults.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return usageError{err}
+}
+
+// exitCode maps an error from run() onto the exit-code contract.
+// Campaign-server errors carry their class across the wire: `certify
+// submit` against a server that rejects the request (usage) or refuses
+// a foreign artefact (mismatch) exits exactly as the local subcommands
+// would.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return exitUsage
+	}
+	var ae *serve.APIError
+	if errors.As(err, &ae) {
+		switch ae.Class {
+		case serve.ClassUsage:
+			return exitUsage
+		case serve.ClassMismatch:
+			return exitMismatch
+		}
+		return exitFailure
+	}
+	if errors.Is(err, dist.ErrCampaignMismatch) {
+		return exitMismatch
+	}
+	return exitFailure
+}

@@ -91,7 +91,7 @@ func cmdInspect(args []string) error {
 	grep := fs.String("grep", "", "list runs whose record matches this regex (full-mode transcripts included)")
 	compare := fs.String("compare", "", "compare against this dossier (artefact or master index) run for run")
 	raw := fs.Bool("raw", false, "with -run: print the raw JSONL record bytes as well")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	paths := fs.Args()

@@ -17,6 +17,19 @@
 //	                 runs.jsonl[.gz] | master-index.json | shard-*.jsonl[.gz]
 //	certify report   [-runs 30] [-seed N]
 //	certify plans
+//	certify serve    [-addr HOST:PORT] [-data DIR] [-slots N] [-workers W]
+//	                 [-max-runs N] [-skip-golden-check]
+//	certify submit   [-server URL] [-plan E3-fig3 | -planfile f] [-fault MODEL]
+//	                 [-runs 100] [-seed N] [-mode M] [-tenant NAME] [-wait=false]
+//	certify watch    [-server URL] JOBID
+//
+// Exit codes are part of the CLI contract: 0 success, 1 I/O or
+// execution failure, 2 usage (bad flags, unknown plan, bad
+// combination), 3 campaign identity mismatch (an artefact, spec or
+// merge input that names a different plan hash, seed, window, mode or
+// fault model than the campaign at hand). "certify submit" maps the
+// server's error classes onto the same codes, so scripts treat a
+// remote campaign exactly like a local one.
 //
 // -fault selects a fault model from the registry (certify plans lists
 // it): register (default), burst, ram, gic, irq-storm and friends. The
@@ -53,6 +66,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -88,7 +102,7 @@ func applyFault(plan *core.TestPlan, fault string) error {
 		return nil
 	}
 	if !core.FaultModelRegistered(fault) {
-		return fmt.Errorf("unknown fault model %q (registered: %s)",
+		return usagef("unknown fault model %q (registered: %s)",
 			fault, strings.Join(core.FaultModelNames(), ", "))
 	}
 	if fault == core.DefaultFaultModelName {
@@ -99,16 +113,21 @@ func applyFault(plan *core.TestPlan, fault string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "certify:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	if errors.Is(err, flag.ErrHelp) {
+		return // the FlagSet already printed its defaults
+	}
+	fmt.Fprintln(os.Stderr, "certify:", err)
+	os.Exit(exitCode(err))
 }
 
 func run(args []string) error {
 	if len(args) == 0 {
 		usage()
-		return fmt.Errorf("missing subcommand")
+		return usagef("missing subcommand")
 	}
 	switch args[0] {
 	case "golden":
@@ -129,12 +148,18 @@ func run(args []string) error {
 		return cmdReport(args[1:])
 	case "plans":
 		return cmdPlans()
+	case "serve":
+		return cmdServe(args[1:])
+	case "submit":
+		return cmdSubmit(args[1:])
+	case "watch":
+		return cmdWatch(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return usagef("unknown subcommand %q", args[0])
 	}
 }
 
@@ -150,30 +175,27 @@ subcommands:
   inspect    query archive dossiers without scanning them: run K's evidence,
              runs by outcome, per-outcome counts, compare two dossiers
   report     run the standard campaigns and emit the SEooC dossier
-  plans      list the built-in test plans`)
+  plans      list the built-in test plans
+  serve      run the campaign server: HTTP/JSON submissions, fair multi-tenant
+             queueing, content-addressed result cache, live streaming
+  submit     post a campaign to a running server and stream its progress
+  watch      attach to a server job's live event stream
+exit codes: 0 ok, 1 failure, 2 usage, 3 campaign mismatch`)
 }
 
-// namedPlans maps CLI names to the built-in plans.
-func namedPlans() map[string]*core.TestPlan {
-	return map[string]*core.TestPlan{
-		"E1-hvc":     core.PlanE1HVC(),
-		"E1-trap":    core.PlanE1Trap(),
-		"E2-core1":   core.PlanE2Core1(),
-		"E3-fig3":    core.PlanE3Fig3(),
-		"A3-irqchip": core.PlanA3IRQ(),
-	}
-}
-
+// lookupPlan resolves a built-in plan name through the shared registry
+// the serve API uses too — one name space everywhere a spec can enter.
 func lookupPlan(name string) (*core.TestPlan, error) {
-	if p, ok := namedPlans()[name]; ok {
-		return p, nil
+	p, err := core.PlanByName(name)
+	if err != nil {
+		return nil, usagef("unknown plan %q (see 'certify plans')", name)
 	}
-	return nil, fmt.Errorf("unknown plan %q (see 'certify plans')", name)
+	return p, nil
 }
 
 func cmdPlans() error {
-	for _, name := range []string{"E1-hvc", "E1-trap", "E2-core1", "E3-fig3", "A3-irqchip"} {
-		p := namedPlans()[name]
+	for _, name := range core.BuiltinPlanNames() {
+		p, _ := core.PlanByName(name)
 		fmt.Println(" ", p)
 	}
 	fmt.Println("fault models (-fault):", strings.Join(core.FaultModelNames(), ", "))
@@ -184,7 +206,7 @@ func cmdGolden(args []string) error {
 	fs := flag.NewFlagSet("golden", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 2022, "run seed")
 	duration := fs.Duration("duration", time.Minute, "virtual run duration")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	gp, err := core.GoldenRun(*seed, sim.Time(*duration))
@@ -203,7 +225,7 @@ func cmdInject(args []string) error {
 	fault := fs.String("fault", "", "fault model override (see 'certify plans' for the registry)")
 	seed := fs.Uint64("seed", 1, "run seed")
 	verbose := fs.Bool("verbose", false, "print consoles and injection log")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	plan, err := resolvePlan(*planName, *planFile)
@@ -251,7 +273,7 @@ func totalCalls(res *core.RunResult) uint64 {
 func parseModeFlag(s string) (core.CampaignMode, error) {
 	mode, err := core.ParseCampaignMode(s)
 	if err != nil {
-		return 0, fmt.Errorf("unknown -mode %q (want full or distribution)", s)
+		return 0, usagef("unknown -mode %q (want full or distribution)", s)
 	}
 	return mode, nil
 }
@@ -320,7 +342,7 @@ func cmdCampaign(args []string) error {
 	mode := fs.String("mode", "full", "evidence retention: full (transcripts + per-run artefacts) or distribution (streaming aggregation, fastest)")
 	shards := fs.Int("shards", 1, "split the campaign into K contiguous shards for multi-process fan-out")
 	shardIndex := fs.Int("shard-index", 0, "which shard this process runs (0..K-1); requires -shards")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	plan, err := resolvePlan(*planName, *planFile)
@@ -344,7 +366,7 @@ func cmdCampaign(args []string) error {
 		}
 	})
 	if err := validateCampaignFlags(cf, *out, shardIndexSet); err != nil {
-		return err
+		return asUsage(err)
 	}
 
 	fmt.Println("plan:", plan)
@@ -425,12 +447,12 @@ func cmdMerge(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
 	index := fs.String("index", "", "also compose the shard footers into a master index document at this path")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
-		return fmt.Errorf("merge needs the shard artefact files: certify merge shard-*.jsonl")
+		return usagef("merge needs the shard artefact files: certify merge shard-*.jsonl")
 	}
 	res, shards, err := dist.Merge(paths)
 	if err != nil {
@@ -515,7 +537,7 @@ func cmdFanout(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	plan, err := resolvePlan(*planName, *planFile)
@@ -538,7 +560,7 @@ func cmdFanout(args []string) error {
 		ff.dir = fmt.Sprintf("fanout-%s-%d", plan.Name, *seed)
 	}
 	if err := validateFanoutFlags(ff); err != nil {
-		return err
+		return asUsage(err)
 	}
 	return runFanout(ff)
 }
@@ -655,11 +677,11 @@ func cmdFanoutWorker(args []string) error {
 	index := fs.Int("index", -1, "shard index to execute")
 	out := fs.String("out", "", "shard artefact path")
 	workers := fs.Int("workers", 0, "campaign parallelism inside this worker (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *specPath == "" || *out == "" || *index < 0 {
-		return fmt.Errorf("fanout-worker is launched by 'certify fanout' and needs -spec, -index and -out")
+		return usagef("fanout-worker is launched by 'certify fanout' and needs -spec, -index and -out")
 	}
 	spec, err := dist.ReadSpecFile(*specPath)
 	if err != nil {
@@ -709,7 +731,7 @@ func cmdReport(args []string) error {
 	runs := fs.Int("runs", 30, "runs per campaign")
 	seed := fs.Uint64("seed", 2022, "master seed")
 	duration := fs.Duration("duration", time.Minute, "virtual run duration")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	report, err := core.QuickAssessment(*seed, *runs, sim.Time(*duration))

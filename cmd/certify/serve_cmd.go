@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"github.com/dessertlab/certify/internal/serve"
+)
+
+// defaultServerURL is where submit/watch look for a campaign server.
+const defaultServerURL = "http://127.0.0.1:8422"
+
+// cmdServe runs the campaign server: accept campaign specs over
+// HTTP/JSON, execute them on a shared warm machine pool with per-tenant
+// fair queueing, serve repeated identical requests from the
+// content-addressed result cache, and stream live progress.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8422", "listen address")
+	dataDir := fs.String("data", "certify-serve-data", "server state directory (result cache lives here)")
+	slots := fs.Int("slots", 2, "concurrently executing campaigns")
+	workers := fs.Int("workers", 0, "campaign parallelism per job (0 = GOMAXPROCS/slots)")
+	maxRuns := fs.Int("max-runs", 100000, "per-request run-count cap")
+	skipGolden := fs.Bool("skip-golden-check", false, "skip the startup golden-run engine fingerprint")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("serve takes no positional arguments, got %v", fs.Args())
+	}
+	srv, err := serve.New(serve.Config{
+		DataDir:         *dataDir,
+		Slots:           *slots,
+		WorkersPerJob:   *workers,
+		MaxRuns:         *maxRuns,
+		SkipGoldenCheck: *skipGolden,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("certify serve: listening on http://%s (data %s, slots %d)\n", ln.Addr(), *dataDir, *slots)
+	if h := srv.GoldenTraceHash(); h != 0 {
+		fmt.Printf("engine fingerprint: golden trace hash %#x\n", h)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "certify serve: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		return srv.Shutdown(sctx)
+	}
+}
+
+// cmdSubmit posts one campaign to a running server and (by default)
+// streams its progress until the result arrives. Server-side rejections
+// keep their class across the wire and surface as the same exit codes
+// the local subcommands use.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	server := fs.String("server", defaultServerURL, "campaign server base URL")
+	planName := fs.String("plan", "E3-fig3", "test plan name")
+	planFile := fs.String("planfile", "", "submit the plan-file text instead of a built-in name")
+	fault := fs.String("fault", "", "fault model override (see 'certify plans' for the registry)")
+	runs := fs.Int("runs", 100, "number of runs")
+	seed := fs.Uint64("seed", 2022, "master seed")
+	mode := fs.String("mode", "distribution", "evidence retention: full or distribution")
+	tenant := fs.String("tenant", "", "tenant name for queue fairness (default anonymous)")
+	wait := fs.Bool("wait", true, "stream progress until the job finishes")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	req := &serve.SubmitRequest{
+		Tenant: *tenant,
+		Fault:  *fault,
+		Runs:   *runs,
+		Seed:   serve.Seed(*seed),
+		Mode:   *mode,
+	}
+	if *planFile != "" {
+		text, err := os.ReadFile(*planFile)
+		if err != nil {
+			return err
+		}
+		req.PlanFile = string(text)
+	} else {
+		req.Plan = *planName
+	}
+	ctx := context.Background()
+	c := &serve.Client{Base: *server}
+	v, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s (plan %s, %d runs, seed %#x, key %s)\n",
+		v.ID, v.State, v.Plan, v.Runs, uint64(v.Seed), v.Key)
+	if v.State.Terminal() {
+		return reportJob(v)
+	}
+	if !*wait {
+		fmt.Printf("follow with: certify watch -server %s %s\n", *server, v.ID)
+		return nil
+	}
+	return watchJob(ctx, c, v.ID)
+}
+
+// cmdWatch attaches to an existing job's live event stream.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	server := fs.String("server", defaultServerURL, "campaign server base URL")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("watch needs exactly one job id: certify watch [-server URL] JOBID")
+	}
+	return watchJob(context.Background(), &serve.Client{Base: *server}, fs.Arg(0))
+}
+
+// watchJob follows the event stream, printing progress, and reports the
+// terminal view.
+func watchJob(ctx context.Context, c *serve.Client, id string) error {
+	v, err := c.Watch(ctx, id, func(ev serve.Event) {
+		switch ev.Type {
+		case "state":
+			fmt.Printf("job %s: %s\n", ev.Job, ev.State)
+		case "progress":
+			fmt.Printf("job %s: %d/%d runs\n", ev.Job, ev.Runs, ev.Total)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return reportJob(v)
+}
+
+// reportJob prints a terminal job's result and converts failure states
+// into errors carrying the server's error class, so the exit code
+// mirrors a local execution of the same campaign.
+func reportJob(v *serve.JobView) error {
+	switch v.State {
+	case serve.StateCompleted:
+		source := "executed"
+		if v.Cached {
+			source = "served from result cache"
+		}
+		fmt.Printf("job %s: completed (%s)\n", v.ID, source)
+		names := make([]string, 0, len(v.Distribution))
+		for name := range v.Distribution {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-22s %d\n", name, v.Distribution[name])
+		}
+		fmt.Printf("  injections total: %d\n", v.InjectionsTotal)
+		return nil
+	case serve.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", v.ID)
+	case serve.StateFailed:
+		class := v.ErrorClass
+		if class == "" {
+			class = serve.ClassInternal
+		}
+		return &serve.APIError{Status: 0, Class: class, Msg: fmt.Sprintf("job %s failed: %s", v.ID, v.Error)}
+	}
+	return fmt.Errorf("job %s ended in unexpected state %s", v.ID, v.State)
+}

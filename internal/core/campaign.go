@@ -319,7 +319,14 @@ feed:
 		}
 	}
 	if agg.total == 0 {
-		return nil, fmt.Errorf("core: campaign produced no runs (cancelled?)")
+		// Distinguish "cancelled before the first run finished" from a
+		// genuinely empty campaign: callers (the serve daemon's job
+		// executor, the fan-out supervisor) branch on errors.Is(err,
+		// context.Canceled) to record an abort instead of a failure.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: campaign cancelled before any run completed: %w", cerr)
+		}
+		return nil, fmt.Errorf("core: campaign produced no runs")
 	}
 	return agg, nil
 }

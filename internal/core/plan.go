@@ -245,6 +245,32 @@ func PlanA3IRQ() *TestPlan {
 	}
 }
 
+// BuiltinPlanNames lists the named plans in presentation order — the
+// order `certify plans` prints and the serve API advertises.
+func BuiltinPlanNames() []string {
+	return []string{"E1-hvc", "E1-trap", "E2-core1", "E3-fig3", "A3-irqchip"}
+}
+
+// PlanByName returns a fresh instance of the built-in plan with that
+// name. Both the CLI and the campaign server resolve request plan names
+// through this single registry, so "E3-fig3" means the same campaign
+// everywhere a spec can enter the system.
+func PlanByName(name string) (*TestPlan, error) {
+	switch name {
+	case "E1-hvc":
+		return PlanE1HVC(), nil
+	case "E1-trap":
+		return PlanE1Trap(), nil
+	case "E2-core1":
+		return PlanE2Core1(), nil
+	case "E3-fig3":
+		return PlanE3Fig3(), nil
+	case "A3-irqchip":
+		return PlanA3IRQ(), nil
+	}
+	return nil, fmt.Errorf("core: unknown plan %q (known: %s)", name, strings.Join(BuiltinPlanNames(), ", "))
+}
+
 // PlanMatrix expands a cartesian sweep of points × intensities × rates
 // into plans, for the A1 occurrence ablation.
 func PlanMatrix(points []jailhouse.InjectionPoint, intensities []Intensity, rates []int, base TestPlan) []*TestPlan {

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// writeJSONLine appends v as one newline-terminated JSON line, the
+// exact bytes JSONLWriter.writeLine would emit.
+func writeJSONLine(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// WriteCanonical renders a complete shard artefact as its canonical
+// byte stream: the manifest line, every run record in ascending global
+// run-index order, then the summary footer — no index footer. Artefact
+// files on disk are written in completion order (workers race), so two
+// executions of the same campaign produce permuted files; the canonical
+// stream is the order-free quotient. Because every run's record content
+// is deterministic (seed chain → trace → classification → fixed JSON
+// field order) and the summary is rebuilt from the records with
+// sorted-key map encoding, two artefacts of the same campaign always
+// canonicalise to identical bytes — the byte-identity contract the
+// campaign server's result cache is audited against.
+func WriteCanonical(w io.Writer, d *Dossier) error {
+	if !d.Complete() {
+		return fmt.Errorf("dist: %s is incomplete — canonical form is defined only for finished shards", d.Path())
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeJSONLine(bw, d.Manifest()); err != nil {
+		return err
+	}
+	res := &core.CampaignResult{Plan: d.Manifest().Plan}
+	for _, e := range d.Entries() {
+		line, err := d.RawRun(e.Index)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		o, err := parseOutcome(e.Outcome)
+		if err != nil {
+			return fmt.Errorf("dist: %s run %d: %w", d.Path(), e.Index, err)
+		}
+		res.AddSample(o, e.Injections, sim.Time(e.DetectionNS))
+	}
+	if err := writeJSONLine(bw, summaryFor(res)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

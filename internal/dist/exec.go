@@ -49,8 +49,8 @@ func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPa
 		}
 		if prev != nil {
 			if !prev.Manifest.matches(want) {
-				return nil, false, fmt.Errorf("dist: %s holds a different shard (%s) — refusing to overwrite",
-					outPath, prev.Manifest.diff(want))
+				return nil, false, fmt.Errorf("dist: %s holds a different shard (%s) — refusing to overwrite: %w",
+					outPath, prev.Manifest.diff(want), ErrCampaignMismatch)
 			}
 			if prev.Complete {
 				return prev.Result, true, nil
@@ -89,9 +89,16 @@ func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPa
 		return nil, false, err
 	}
 	if res.Total() != sh.Runs() {
-		// Cancelled mid-shard: leave the file without a summary so the
-		// next invocation reruns it.
-		return res, false, fmt.Errorf("dist: shard %d completed %d of %d runs (cancelled?) — artefact left incomplete for rerun",
+		// The file is left without a summary so the next invocation reruns
+		// it. A cancellation (server job abort, supervisor shutdown) is
+		// reported as such — errors.Is(err, context.Canceled) holds and the
+		// artefact is a resumable torn-tolerated remnant, exactly like a
+		// killed worker's.
+		if cerr := ctx.Err(); cerr != nil {
+			return res, false, fmt.Errorf("dist: shard %d cancelled after %d of %d runs — artefact left resumable at %s: %w",
+				index, res.Total(), sh.Runs(), outPath, cerr)
+		}
+		return res, false, fmt.Errorf("dist: shard %d completed %d of %d runs — artefact left incomplete for rerun",
 			index, res.Total(), sh.Runs())
 	}
 	if err := w.WriteSummary(res); err != nil {

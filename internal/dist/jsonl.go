@@ -409,21 +409,29 @@ func (jw *JSONLWriter) OnRun(index int, r *core.RunResult) {
 	}
 }
 
-// WriteSummary emits the completion footer from the shard's aggregate
-// and flushes immediately — the completion marker must not sit in a
-// batch.
-func (jw *JSONLWriter) WriteSummary(res *core.CampaignResult) error {
+// summaryFor renders a campaign aggregate as the summary footer record.
+// Shared by the streaming writer and the canonical re-serialisation
+// (WriteCanonical), so a rebuilt footer is byte-identical to a written
+// one.
+func summaryFor(res *core.CampaignResult) Summary {
 	dist := make(map[string]int, len(core.AllOutcomes()))
 	for _, o := range core.AllOutcomes() {
 		dist[o.String()] = res.Count(o)
 	}
-	s := Summary{
+	return Summary{
 		Type:         recordSummary,
 		Runs:         res.Total(),
 		Distribution: dist,
 		Injections:   res.InjectionsTotal(),
 		MeanDetectNS: int64(res.MeanDetectionLatency()),
 	}
+}
+
+// WriteSummary emits the completion footer from the shard's aggregate
+// and flushes immediately — the completion marker must not sit in a
+// batch.
+func (jw *JSONLWriter) WriteSummary(res *core.CampaignResult) error {
+	s := summaryFor(res)
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	if err := jw.writeLine(s); err != nil {

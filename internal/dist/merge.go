@@ -27,6 +27,14 @@ const maxLineBytes = 64 << 20
 // evidence; ExecuteShard overwrites such remnants instead of refusing.
 var ErrTorn = errors.New("dist: artefact truncated before its manifest")
 
+// ErrCampaignMismatch marks every campaign-identity refusal: an artefact
+// or spec that names a different plan hash, seed, window, mode or fault
+// model than the campaign being assembled. Callers (the certify CLI's
+// exit-code policy, the serve daemon's error classes) branch on
+// errors.Is(err, ErrCampaignMismatch) to distinguish "you pointed two
+// campaigns at each other" from plain I/O failure.
+var ErrCampaignMismatch = errors.New("campaign identity mismatch")
+
 // openShardReader opens path and returns a line reader, decompressing
 // transparently when the content (magic bytes, not just the suffix) is
 // gzip. The returned bool reports whether the stream is compressed —
@@ -253,12 +261,12 @@ func Merge(paths []string) (*core.CampaignResult, []*ShardFile, error) {
 	for _, sf := range shards {
 		if !sf.Manifest.sameCampaign(ref) {
 			return nil, shards, fmt.Errorf(
-				"dist: %s belongs to a different campaign than %s (%s)",
-				sf.Path, shards[0].Path, sf.Manifest.campaignDiff(ref))
+				"dist: %s belongs to a different campaign than %s (%s): %w",
+				sf.Path, shards[0].Path, sf.Manifest.campaignDiff(ref), ErrCampaignMismatch)
 		}
 		if dup := byIndex[sf.Manifest.Shard]; dup != nil {
-			return nil, shards, fmt.Errorf("dist: shard %d appears twice (%s and %s)",
-				sf.Manifest.Shard, dup.Path, sf.Path)
+			return nil, shards, fmt.Errorf("dist: shard %d appears twice (%s and %s): %w",
+				sf.Manifest.Shard, dup.Path, sf.Path, ErrCampaignMismatch)
 		}
 		byIndex[sf.Manifest.Shard] = sf
 		if !sf.Complete {

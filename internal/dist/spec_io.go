@@ -62,7 +62,7 @@ func DecodeSpec(r io.Reader) (*Spec, error) {
 		return nil, fmt.Errorf("dist: spec plan: %w", err)
 	}
 	if got := fmt.Sprintf("%#x", plan.Hash()); got != sj.PlanHash {
-		return nil, fmt.Errorf("dist: spec plan hash %s does not match embedded plan (%s) — corrupted spec", sj.PlanHash, got)
+		return nil, fmt.Errorf("dist: spec plan hash %s does not match embedded plan (%s) — corrupted spec: %w", sj.PlanHash, got, ErrCampaignMismatch)
 	}
 	seed, err := parseHex(sj.MasterSeed)
 	if err != nil {

@@ -278,7 +278,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				Worker: "resume", Outcome: "skipped", Runs: sf.Records,
 			})
 		case !sf.Manifest.SameCampaignAs(st.shard):
-			return nil, fmt.Errorf("fanout: %s belongs to a different campaign — refusing to supervise over it", st.path)
+			return nil, fmt.Errorf("fanout: %s belongs to a different campaign — refusing to supervise over it: %w", st.path, dist.ErrCampaignMismatch)
 		}
 	}
 	s.emitProgress()
@@ -489,7 +489,7 @@ monitor:
 			Worker: att.Worker, Outcome: "crashed",
 			Detail: fmt.Sprintf("artefact %s belongs to a different campaign", st.path),
 		})
-		s.failShard(st, fmt.Errorf("fanout: %s belongs to a different campaign", st.path))
+		s.failShard(st, fmt.Errorf("fanout: %s belongs to a different campaign: %w", st.path, dist.ErrCampaignMismatch))
 		return attemptDone
 	}
 	if rerr == nil {
@@ -637,7 +637,7 @@ func (s *supervisor) buildManifest() *Manifest {
 func publishSpec(path string, spec *dist.Spec) error {
 	if prev, err := dist.ReadSpecFile(path); err == nil {
 		if !spec.SameCampaign(prev) {
-			return fmt.Errorf("fanout: %s already describes a different campaign — use a fresh -dir", path)
+			return fmt.Errorf("fanout: %s already describes a different campaign — use a fresh -dir: %w", path, dist.ErrCampaignMismatch)
 		}
 		return nil // identical spec already published (resume)
 	} else if !os.IsNotExist(err) {

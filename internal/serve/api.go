@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Wire types of the campaign server's HTTP/JSON API. Everything here is
+// shared between the server's handlers and the Client the certify CLI
+// (and the examples) drive it with.
+
+// Seed is a uint64 campaign seed on the wire. JSON numbers silently lose
+// precision above 2^53, so Seed marshals as a hex string ("0x7e6") and
+// unmarshals from either a string (hex, octal or decimal per Go syntax)
+// or a plain JSON number — hand-written clients get to write
+// {"seed": 2022} and full-range seeds survive round-trips.
+type Seed uint64
+
+// MarshalJSON renders the seed as a hex string.
+func (s Seed) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fmt.Sprintf("%#x", uint64(s)))
+}
+
+// UnmarshalJSON accepts a JSON number or a numeric string.
+func (s *Seed) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		// Not a string: try a bare number token.
+		var n json.Number
+		if nerr := json.Unmarshal(b, &n); nerr != nil {
+			return fmt.Errorf("serve: seed must be a number or a numeric string, got %s", b)
+		}
+		str = n.String()
+	}
+	u, err := strconv.ParseUint(str, 0, 64)
+	if err != nil {
+		return fmt.Errorf("serve: bad seed %q: %w", str, err)
+	}
+	*s = Seed(u)
+	return nil
+}
+
+// SubmitRequest is the body of POST /campaigns: one campaign spec. Give
+// either a built-in plan name or the plan-file text; the fault model,
+// when set, overrides the plan's (and becomes part of its identity,
+// exactly as `certify -fault` does).
+type SubmitRequest struct {
+	// Tenant names the submitting principal for queue fairness. Empty
+	// falls back to the X-Certify-Tenant header, then to "anonymous".
+	Tenant string `json:"tenant,omitempty"`
+	// Plan is a built-in plan name ("E3-fig3", ...).
+	Plan string `json:"plan,omitempty"`
+	// PlanFile is the plan-file text (the `certify -planfile` format);
+	// mutually exclusive with Plan.
+	PlanFile string `json:"plan_file,omitempty"`
+	// Fault optionally overrides the plan's fault model by registry name.
+	Fault string `json:"fault,omitempty"`
+	// Runs is the campaign size.
+	Runs int `json:"runs"`
+	// Seed is the master seed of the per-run seed chain.
+	Seed Seed `json:"seed"`
+	// Mode is "full" or "distribution" (the default).
+	Mode string `json:"mode,omitempty"`
+}
+
+// JobView is the API rendering of one job — returned by submit, job
+// lookup and cancel, and embedded in the jobs listing.
+type JobView struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	State  State  `json:"state"`
+	// Cached is true when the job was served from the result cache
+	// instead of executing.
+	Cached bool `json:"cached"`
+	// Key is the content-addressed cache key (plan hash + seed + runs +
+	// mode) the job resolves to.
+	Key        string `json:"key"`
+	Plan       string `json:"plan"`
+	PlanHash   string `json:"plan_hash"`
+	FaultModel string `json:"fault_model"`
+	Runs       int    `json:"runs"`
+	Seed       Seed   `json:"seed"`
+	Mode       string `json:"mode"`
+	// StartSeq is the server-wide execution order (1-based; 0 = never
+	// started). The fairness tests audit queue policy through it.
+	StartSeq int `json:"start_seq,omitempty"`
+	// Error and ErrorClass describe a failed job (class as in API error
+	// responses: "usage", "mismatch", "internal").
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	// Distribution, InjectionsTotal and MeanDetectionNS carry the
+	// campaign aggregate once the job completed.
+	Distribution    map[string]int `json:"distribution,omitempty"`
+	InjectionsTotal int            `json:"injections_total,omitempty"`
+	MeanDetectionNS int64          `json:"mean_detection_latency_ns,omitempty"`
+}
+
+// Event is one line of a job's progress stream (GET /jobs/{id}/events,
+// NDJSON by default, SSE data frames under Accept: text/event-stream).
+type Event struct {
+	// Type is "state" (lifecycle transition), "progress" (run records
+	// observed in the artefact grew) or "done" (terminal; last event).
+	Type  string `json:"type"`
+	Job   string `json:"job"`
+	State State  `json:"state,omitempty"`
+	// Runs/Total report per-run progress from the artefact tail.
+	Runs  int   `json:"runs,omitempty"`
+	Total int   `json:"total,omitempty"`
+	Bytes int64 `json:"bytes,omitempty"`
+	// Terminal payload (done events only).
+	Cached          bool           `json:"cached,omitempty"`
+	Distribution    map[string]int `json:"distribution,omitempty"`
+	InjectionsTotal int            `json:"injections_total,omitempty"`
+	Error           string         `json:"error,omitempty"`
+}
+
+// Health is GET /healthz: liveness plus the engine fingerprint. The
+// golden trace hash is computed by a fault-free one-minute golden run at
+// server startup — a client can verify the serving engine replays the
+// certified golden trace (0xa10df7f198db0642) before trusting results.
+type Health struct {
+	Status          string `json:"status"`
+	GoldenTraceHash string `json:"golden_trace_hash"`
+	Jobs            int    `json:"jobs"`
+	Queued          int    `json:"queued"`
+	Slots           int    `json:"slots"`
+	CacheEntries    int    `json:"cache_entries"`
+}
+
+// Error classes carried in API error bodies; `certify submit` maps them
+// onto its exit codes (usage=2, mismatch=3, everything else 1).
+const (
+	ClassUsage    = "usage"     // malformed or unrunnable request
+	ClassMismatch = "mismatch"  // campaign identity mismatch
+	ClassNotFound = "not-found" // no such job / run record
+	ClassConflict = "conflict"  // right request, wrong job state
+	ClassInternal = "internal"  // execution or I/O failure
+)
+
+// APIError is a non-2xx API response decoded by the Client.
+type APIError struct {
+	Status int    // HTTP status code
+	Class  string // error class (see Class* constants)
+	Msg    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Msg, e.Class, e.Status)
+}
+
+// errorBody is the JSON shape of API error responses.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}

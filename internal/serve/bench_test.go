@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerCachedRequest measures layer 2 of the campaign server:
+// a submit whose (plan hash, seed, runs, mode) key already has a
+// verified artefact in the result cache is answered synchronously from
+// the store — manifest check, summary decode, HTTP round trip — without
+// simulating a single run. The fresh execution of the same 40-run E3
+// campaign is timed once as the baseline; the acceptance bar is a ≥100×
+// speedup for the cached path. (Lives here rather than in the root
+// bench harness: linking net/http into the root test binary perturbs
+// TestTraceArenaPresize's allocation goldens.)
+func BenchmarkServerCachedRequest(b *testing.B) {
+	s, err := New(Config{
+		DataDir: b.TempDir(), SkipGoldenCheck: true, WorkersPerJob: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c := &Client{Base: ts.URL, HTTP: ts.Client()}
+	ctx := context.Background()
+	req := &SubmitRequest{Plan: "E3-fig3", Runs: 40, Seed: 2022}
+
+	// Fresh execution: submit, then poll to completion. Timed once as
+	// the baseline the cache is measured against.
+	freshStart := time.Now()
+	v, err := c.Submit(ctx, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for !v.State.Terminal() {
+		time.Sleep(2 * time.Millisecond)
+		if v, err = c.Job(ctx, v.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fresh := time.Since(freshStart)
+	if v.State != StateCompleted || v.Cached {
+		b.Fatalf("baseline job = %s cached=%v", v.State, v.Cached)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := c.Submit(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit.Cached || hit.State != StateCompleted {
+			b.Fatalf("request %d missed the cache: %s cached=%v", i, hit.State, hit.Cached)
+		}
+	}
+	b.StopTimer()
+	cached := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(fresh.Milliseconds()), "fresh_ms")
+	b.ReportMetric(fresh.Seconds()/cached.Seconds(), "speedup_x")
+}

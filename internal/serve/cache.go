@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/dessertlab/certify/internal/dist"
+)
+
+// cache is the server's content-addressed result store. One campaign
+// identity — plan hash, master seed, run count, retention mode — maps
+// to one directory holding the single-shard artefact (runs.jsonl) and
+// the published spec (spec.json). The artefact itself is the cache
+// entry: there is no separate metadata to drift out of sync, and a hit
+// is only ever declared after the same verification a merge applies
+// (manifest matches the requested shard, records complete and
+// consistent with the summary footer). A corrupted, truncated or
+// foreign entry therefore can never be served — lookup misses and the
+// campaign re-executes, overwriting the bad entry with fresh evidence.
+type cache struct {
+	dir string
+}
+
+func newCache(dir string) (*cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &cache{dir: dir}, nil
+}
+
+// cacheKey is the content address of a campaign: every field of the
+// identity in fixed-width hex/decimal, so distinct campaigns get
+// distinct directories. (The plan hash covers the plan text including
+// its fault-model selection.) Collisions cannot misattribute results
+// even in theory: a hit additionally requires the stored manifest to
+// match the requested shard's.
+func cacheKey(spec *dist.Spec) string {
+	return fmt.Sprintf("%016x-%016x-%d-%s", spec.Plan.Hash(), spec.MasterSeed, spec.Runs, spec.Mode)
+}
+
+func (c *cache) entryDir(key string) string     { return filepath.Join(c.dir, key) }
+func (c *cache) artefactPath(key string) string { return filepath.Join(c.entryDir(key), "runs.jsonl") }
+
+// lookup returns the verified cache entry for spec, or ok=false on any
+// miss: absent file, unreadable file, incomplete shard, or a manifest
+// that does not match the requested campaign byte for byte.
+func (c *cache) lookup(spec *dist.Spec) (*dist.ShardFile, bool) {
+	sh, err := spec.Shard(0)
+	if err != nil {
+		return nil, false
+	}
+	sf, err := dist.ReadShard(c.artefactPath(cacheKey(spec)))
+	if err != nil {
+		return nil, false
+	}
+	if !sf.Complete || !sf.Manifest.MatchesShard(sh) {
+		return nil, false
+	}
+	return sf, true
+}
+
+// prepare readies spec's entry for execution: the directory exists, the
+// spec is published beside the artefact, and any poisoned artefact —
+// unreadable, or readable but naming a different campaign — is removed
+// so ExecuteShard reruns instead of refusing. A same-campaign
+// incomplete artefact is deliberately left in place: it is a resumable
+// remnant (of a cancelled or crashed job) and ExecuteShard's own
+// idempotence handles it. Returns the artefact path to execute into.
+func (c *cache) prepare(spec *dist.Spec) (string, error) {
+	sh, err := spec.Shard(0)
+	if err != nil {
+		return "", err
+	}
+	key := cacheKey(spec)
+	if err := os.MkdirAll(c.entryDir(key), 0o755); err != nil {
+		return "", err
+	}
+	if err := dist.WriteSpecFile(filepath.Join(c.entryDir(key), "spec.json"), spec); err != nil {
+		return "", err
+	}
+	path := c.artefactPath(key)
+	sf, rerr := dist.ReadShard(path)
+	switch {
+	case rerr == nil && !sf.Manifest.SameCampaignAs(sh):
+		// The entry's bytes answer to a different campaign than its
+		// address — poisoned or tampered. Never serve it, never resume
+		// into it: remove and re-execute.
+		if err := os.Remove(path); err != nil {
+			return "", err
+		}
+	case rerr != nil && !os.IsNotExist(rerr) && !errors.Is(rerr, dist.ErrTorn):
+		// Unreadable non-torn file (corrupted records, flipped bytes):
+		// ExecuteShard would refuse to overwrite it, so clear it here —
+		// inside the content-addressed store, an unreadable entry is by
+		// definition worthless. (Torn crash remnants are already rerun
+		// in place by ExecuteShard itself.)
+		if err := os.Remove(path); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
+}
+
+// entries counts the cache's entry directories, for /healthz.
+func (c *cache) entries() int {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() {
+			n++
+		}
+	}
+	return n
+}

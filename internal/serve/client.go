@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the campaign server's API — the certify CLI's submit
+// and watch subcommands and the examples are built on it. The zero
+// Base is rejected; the zero HTTP client falls back to
+// http.DefaultClient.
+type Client struct {
+	Base string // server base URL, e.g. "http://127.0.0.1:8422"
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do performs one JSON round-trip. Non-2xx responses decode into
+// *APIError, preserving the server's error class for exit-code mapping;
+// a body that is not the API's error shape still yields an APIError
+// with class "internal".
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.Base == "" {
+		return fmt.Errorf("serve: client has no base URL")
+	}
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(data))
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+	}
+	if eb.Class == "" {
+		eb.Class = ClassInternal
+	}
+	return &APIError{Status: resp.StatusCode, Class: eb.Class, Msg: eb.Error}
+}
+
+// Submit posts a campaign request and returns the resulting job view —
+// terminal already when the server answered it from its result cache.
+func (c *Client) Submit(ctx context.Context, req *SubmitRequest) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodPost, "/campaigns", req, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Job fetches one job.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
+	var vs []JobView
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &vs); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// Cancel aborts a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Result fetches a terminal job view (the server answers 409 while the
+// job is still in flight).
+func (c *Client) Result(ctx context.Context, id string) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Health fetches the server's health and engine fingerprint.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// RawRun fetches run k's stored record line.
+func (c *Client) RawRun(ctx context.Context, id string, k int) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(fmt.Sprintf("/jobs/%s/runs/%d", id, k)), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Artefact streams the job's canonical artefact into w.
+func (c *Client) Artefact(ctx context.Context, w io.Writer, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/artefact"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Watch follows the job's NDJSON event stream, invoking fn per event
+// until the stream's final "done" event (or an error). It returns the
+// job's terminal view. fn may be nil.
+func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) (*JobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("serve: bad event line %q: %w", line, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == "done" {
+			sawDone = true
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawDone {
+		return nil, fmt.Errorf("serve: event stream for %s ended without a done event", id)
+	}
+	return c.Result(ctx, id)
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/dist"
+)
+
+// queueJob builds a minimal job for queue-policy tests.
+func queueJob(t *testing.T, tenant, id string) *Job {
+	t.Helper()
+	spec := &dist.Spec{
+		Plan: core.PlanE3Fig3(), Runs: 1, MasterSeed: 1,
+		Shards: 1, Mode: core.ModeDistribution,
+	}
+	return newJob(id, tenant, cacheKey(spec), spec, context.Background())
+}
+
+// TestFairQueueRoundRobinAcrossTenants pins the fairness policy at the
+// queue level: a flooding tenant's backlog interleaves with other
+// tenants' jobs in round-robin order, and each tenant's own jobs stay
+// FIFO.
+func TestFairQueueRoundRobinAcrossTenants(t *testing.T) {
+	q := newFairQueue()
+	for _, j := range []struct{ tenant, id string }{
+		{"noisy", "a1"}, {"noisy", "a2"}, {"noisy", "a3"}, {"noisy", "a4"},
+		{"calm", "b1"}, {"calm", "b2"},
+		{"solo", "c1"},
+	} {
+		q.push(queueJob(t, j.tenant, j.id))
+	}
+	want := []string{"a1", "b1", "c1", "a2", "b2", "a3", "a4"}
+	for i, w := range want {
+		j := q.pop(context.Background())
+		if j == nil || j.id != w {
+			t.Fatalf("pop %d = %v, want %s (round-robin with per-tenant FIFO)", i, j, w)
+		}
+	}
+	if q.depth() != 0 {
+		t.Fatalf("queue not drained: depth %d", q.depth())
+	}
+}
+
+// TestFairQueueFloodCannotStarve pins the bound the HTTP fairness test
+// relies on: after a tenant floods N jobs, a second tenant's first job
+// is popped second — one turnaround, regardless of backlog depth.
+func TestFairQueueFloodCannotStarve(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 50; i++ {
+		q.push(queueJob(t, "noisy", "flood"))
+	}
+	q.push(queueJob(t, "quiet", "the-one"))
+	if j := q.pop(context.Background()); j.tenant != "noisy" {
+		t.Fatalf("first pop tenant = %s, want noisy (was queued first)", j.tenant)
+	}
+	if j := q.pop(context.Background()); j.id != "the-one" {
+		t.Fatalf("second pop = %s/%s, want quiet/the-one", j.tenant, j.id)
+	}
+}
+
+// TestFairQueuePopBlocksAndWakes exercises the block/wake path and the
+// context escape hatch.
+func TestFairQueuePopBlocksAndWakes(t *testing.T) {
+	q := newFairQueue()
+	got := make(chan *Job, 1)
+	go func() { got <- q.pop(context.Background()) }()
+	select {
+	case j := <-got:
+		t.Fatalf("pop returned %v from an empty queue", j)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.push(queueJob(t, "t", "late"))
+	select {
+	case j := <-got:
+		if j.id != "late" {
+			t.Fatalf("pop = %s, want late", j.id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke after push")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { got <- q.pop(ctx) }()
+	cancel()
+	select {
+	case j := <-got:
+		if j != nil {
+			t.Fatalf("cancelled pop returned %v, want nil", j)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop ignored context cancellation")
+	}
+}
+
+// TestFairQueueDiscardsCancelledJobs: a job cancelled while queued is
+// never handed to an execution slot.
+func TestFairQueueDiscardsCancelledJobs(t *testing.T) {
+	q := newFairQueue()
+	doomed := queueJob(t, "t", "doomed")
+	survivor := queueJob(t, "t", "survivor")
+	q.push(doomed)
+	q.push(survivor)
+	doomed.requestCancel()
+	if doomed.State() != StateCancelled {
+		t.Fatalf("queued job after cancel = %s, want cancelled", doomed.State())
+	}
+	if j := q.pop(context.Background()); j.id != "survivor" {
+		t.Fatalf("pop = %s, want survivor (cancelled job skipped)", j.id)
+	}
+}

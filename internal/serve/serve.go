@@ -1,0 +1,397 @@
+// Package serve is certify-as-a-service: a long-running campaign server
+// that accepts fault-injection campaign specs over HTTP/JSON, executes
+// them through the dist pipeline on a shared warm machine pool, and
+// serves results. Three layers sit on top of the existing engine:
+//
+//   - a multi-tenant job queue with per-tenant round-robin fairness and
+//     a bounded number of concurrent execution slots (fairQueue);
+//   - a content-addressed result cache keyed by plan hash, master seed,
+//     run count and retention mode, whose entries are ordinary shard
+//     artefacts verified with merge-grade manifest checks before reuse
+//     (cache) — a repeated identical request is served from the store,
+//     canonically byte-identical to a fresh execution;
+//   - live streaming: a job's run records can be tailed while the
+//     campaign executes (dist.Tail → NDJSON/SSE events) and individual
+//     run records served by global index (dist.OpenDossier).
+//
+// Determinism is what makes the cache sound: the engine guarantees the
+// same plan hash and seed chain reproduce every run bit for bit, so a
+// verified artefact under the same content address is the result, not
+// an approximation of it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/dist"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// DataDir is the server's state root; the result cache lives in
+	// DataDir/cache. Required.
+	DataDir string
+	// Slots bounds concurrently executing campaigns (default 2).
+	Slots int
+	// WorkersPerJob is the campaign parallelism inside one job; 0
+	// divides GOMAXPROCS evenly across the slots (at least 1 each).
+	WorkersPerJob int
+	// Pool is the shared warm machine pool; nil creates a fresh one.
+	Pool *core.MachinePool
+	// Poll is the artefact tail cadence of event streams (default 50ms).
+	Poll time.Duration
+	// MaxRuns caps a single request's campaign size (default 100000).
+	MaxRuns int
+	// SkipGoldenCheck skips the startup golden-run fingerprint (tests
+	// that never look at /healthz shave the ~fault-free-minute it costs).
+	SkipGoldenCheck bool
+}
+
+// Server owns the queue, the cache, the warm pool and the job table.
+// Construct with New, serve its Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	cache  *cache
+	q      *fairQueue
+	pool   *core.MachinePool
+	golden uint64 // startup golden-run trace hash (0 when skipped)
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job ids in submission order, for listings
+	jobSeq   int
+	startSeq int
+	keyBusy  map[string]chan struct{}
+
+	slots chan struct{}
+	wg    sync.WaitGroup
+}
+
+// New builds a Server, runs the startup golden self-check and starts
+// the dispatcher. The golden trace hash it computes is exposed on
+// /healthz so clients can verify the serving engine replays the
+// certified golden trace before trusting cached results.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: Config.DataDir is required")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.WorkersPerJob <= 0 {
+		cfg.WorkersPerJob = max(1, runtime.GOMAXPROCS(0)/cfg.Slots)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 100000
+	}
+	c, err := newCache(filepath.Join(cfg.DataDir, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = core.NewMachinePool()
+	}
+	var golden uint64
+	if !cfg.SkipGoldenCheck {
+		// A fault-free golden run's trace hash is seed-independent (the
+		// injector never fires), so any seed fingerprints the engine.
+		gp, err := core.GoldenRun(2022, sim.Minute)
+		if err != nil {
+			return nil, fmt.Errorf("serve: startup golden self-check: %w", err)
+		}
+		golden = gp.TraceHash
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   c,
+		q:       newFairQueue(),
+		pool:    pool,
+		golden:  golden,
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+		keyBusy: make(map[string]chan struct{}),
+		slots:   make(chan struct{}, cfg.Slots),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// GoldenTraceHash returns the startup self-check fingerprint (0 when
+// the check was skipped).
+func (s *Server) GoldenTraceHash() uint64 { return s.golden }
+
+// Shutdown cancels every running job, discards the queue (marking the
+// queued jobs cancelled) and waits for the dispatcher and executors to
+// drain, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop()
+	for _, j := range s.q.drain() {
+		j.requestCancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit validates the request into a job and either answers it from
+// the cache on the spot (the job is born completed, Cached=true) or
+// enqueues it for execution.
+func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
+	spec, err := s.buildSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	key := cacheKey(spec)
+
+	s.mu.Lock()
+	s.jobSeq++
+	id := fmt.Sprintf("job-%06d", s.jobSeq)
+	j := newJob(id, tenant, key, spec, s.baseCtx)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	// Synchronous cache probe: a verified hit never touches the queue.
+	if sf, ok := s.cache.lookup(spec); ok {
+		j.finishCompleted(sf.Result, true)
+		return j, nil
+	}
+	s.q.push(j)
+	return j, nil
+}
+
+// Job returns the job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel aborts the job: queued jobs terminate immediately, running
+// jobs stop mid-campaign (their artefact stays resumable) and free
+// their slot.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j.requestCancel()
+	return j, true
+}
+
+// ArtefactPath returns where the job's shard artefact lives (the
+// content-addressed cache entry it executes into or was served from).
+func (s *Server) ArtefactPath(j *Job) string { return s.cache.artefactPath(j.key) }
+
+// Health snapshots the server for /healthz.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	return Health{
+		Status:          "ok",
+		GoldenTraceHash: fmt.Sprintf("%#x", s.golden),
+		Jobs:            jobs,
+		Queued:          s.q.depth(),
+		Slots:           s.cfg.Slots,
+		CacheEntries:    s.cache.entries(),
+	}
+}
+
+// dispatch is the admission loop: acquire a free execution slot FIRST,
+// then pop the fair queue. Ordering matters — because the round-robin
+// choice is made at the moment a slot frees, a job submitted by an idle
+// tenant is selected over a flooding tenant's backlog at the very next
+// turnaround, which is the fairness bound the tests pin.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.baseCtx.Done():
+			return
+		}
+		j := s.q.pop(s.baseCtx)
+		if j == nil {
+			<-s.slots
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.slots }()
+			s.execute(j)
+		}()
+	}
+}
+
+func (s *Server) nextStartSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.startSeq++
+	return s.startSeq
+}
+
+// lockKey serialises executions of the same campaign identity: two
+// identical requests in flight must not write one artefact
+// concurrently — the second waits, then finds the first's result in
+// the cache.
+func (s *Server) lockKey(key string) func() {
+	s.mu.Lock()
+	for {
+		ch, busy := s.keyBusy[key]
+		if !busy {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	ch := make(chan struct{})
+	s.keyBusy[key] = ch
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.keyBusy, key)
+		s.mu.Unlock()
+		close(ch)
+	}
+}
+
+// execute runs one admitted job inside an execution slot.
+func (s *Server) execute(j *Job) {
+	if !j.begin(s.nextStartSeq()) {
+		return // cancelled between pop and begin
+	}
+	unlock := s.lockKey(j.key)
+	defer unlock()
+
+	if j.ctx.Err() != nil {
+		j.finishCancelled()
+		return
+	}
+	// Re-check under the key lock: an identical job that just finished
+	// ahead of us already paid for the result.
+	if sf, ok := s.cache.lookup(j.spec); ok {
+		j.finishCompleted(sf.Result, true)
+		return
+	}
+	path, err := s.cache.prepare(j.spec)
+	if err != nil {
+		j.finishFailed(ClassInternal, err)
+		return
+	}
+	res, _, err := dist.ExecuteShardPool(j.ctx, j.spec, 0, s.cfg.WorkersPerJob, path, s.pool)
+	switch {
+	case err == nil:
+		j.finishCompleted(res, false)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The artefact stays behind as a resumable same-campaign
+		// remnant; a future identical request resumes or reruns it.
+		j.finishCancelled()
+	case errors.Is(err, dist.ErrCampaignMismatch):
+		j.finishFailed(ClassMismatch, err)
+	default:
+		j.finishFailed(ClassInternal, err)
+	}
+}
+
+// buildSpec validates a submit request into a runnable single-shard
+// campaign spec. Every rejection is a *APIError of class "usage".
+func (s *Server) buildSpec(req *SubmitRequest) (*dist.Spec, error) {
+	usage := func(format string, args ...any) error {
+		return &APIError{Status: 400, Class: ClassUsage, Msg: fmt.Sprintf(format, args...)}
+	}
+	var plan *core.TestPlan
+	switch {
+	case req.Plan != "" && req.PlanFile != "":
+		return nil, usage("give either plan or plan_file, not both")
+	case req.Plan != "":
+		p, err := core.PlanByName(req.Plan)
+		if err != nil {
+			return nil, usage("%v", err)
+		}
+		plan = p
+	case req.PlanFile != "":
+		p, err := core.ParsePlan(req.PlanFile)
+		if err != nil {
+			return nil, usage("%v", err)
+		}
+		plan = p
+	default:
+		return nil, usage("request names no plan (set plan or plan_file)")
+	}
+	if req.Fault != "" {
+		if !core.FaultModelRegistered(req.Fault) {
+			return nil, usage("unknown fault model %q (known: %s)", req.Fault, core.FaultModelNames())
+		}
+		plan.FaultName = req.Fault
+	}
+	if req.Runs <= 0 {
+		return nil, usage("runs must be positive, got %d", req.Runs)
+	}
+	if req.Runs > s.cfg.MaxRuns {
+		return nil, usage("runs %d exceeds this server's limit of %d", req.Runs, s.cfg.MaxRuns)
+	}
+	mode := core.ModeDistribution
+	if req.Mode != "" {
+		m, err := core.ParseCampaignMode(req.Mode)
+		if err != nil {
+			return nil, usage("%v", err)
+		}
+		mode = m
+	}
+	spec := &dist.Spec{
+		Plan:       plan,
+		Runs:       req.Runs,
+		MasterSeed: uint64(req.Seed),
+		Shards:     1,
+		Mode:       mode,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, usage("%v", err)
+	}
+	return spec, nil
+}

@@ -19,6 +19,11 @@
 #                                    # sequential scan on a 10k-run artefact,
 #                                    # plain and gzip
 #                                    # (BenchmarkDossierRandomAccess)
+#   scripts/bench.sh serve           # campaign-server result cache: HTTP
+#                                    # submit answered from the verified
+#                                    # artefact store vs fresh execution
+#                                    # (BenchmarkServerCachedRequest,
+#                                    # speedup_x is the ≥100x bar)
 #   scripts/bench.sh soak            # not a benchmark: a quick soak gate —
 #                                    # short FuzzFaultInjection sweep plus a
 #                                    # -race -short pass over the fault-model
@@ -59,6 +64,8 @@ elif [ "$PATTERN" = "warm" ]; then
     PATTERN='WarmMachineCampaign|CampaignThroughput'
 elif [ "$PATTERN" = "inspect" ]; then
     PATTERN='DossierRandomAccess'
+elif [ "$PATTERN" = "serve" ]; then
+    PATTERN='ServerCachedRequest'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -79,13 +86,18 @@ fi
 # footer / dossier code (writer offset metering, footer parse, random
 # access + fallback); internal/core's -short pass keeps the full
 # differential-determinism plan × mode matrix while trimming the
-# full-duration golden campaigns.
-go test -race -short ./internal/fanout ./internal/dist ./internal/core
+# full-duration golden campaigns. internal/serve adds the campaign
+# server (fair queue, job lifecycle, cache lookups racing executors,
+# event-stream tailers).
+go test -race -short ./internal/fanout ./internal/dist ./internal/core ./internal/serve
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+# The campaign-server benchmark lives in internal/serve (linking
+# net/http into the root test binary would disturb its allocation
+# goldens); both packages stream into the same archive.
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . ./internal/serve | tee "$RAW"
 
 awk '
 /^Benchmark/ {
