@@ -30,6 +30,7 @@ import (
 	"github.com/dessertlab/certify/internal/fanout"
 	"github.com/dessertlab/certify/internal/gic"
 	"github.com/dessertlab/certify/internal/jailhouse"
+	"github.com/dessertlab/certify/internal/obs"
 	"github.com/dessertlab/certify/internal/sim"
 )
 
@@ -214,6 +215,44 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
 			})
 		}
+	}
+}
+
+// BenchmarkObsOverhead quantifies the flight recorder's hot-path cost:
+// the identical campaign with metric recording on vs off. The recording
+// path is a handful of atomic adds and two clock reads per run, so the
+// two rows' runs_per_sec must stay within 3% of each other — that bar
+// (checked against BenchmarkCampaignThroughput across PRs) is what
+// keeps instrumentation from quietly taxing every campaign.
+func BenchmarkObsOverhead(b *testing.B) {
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-obs-overhead"
+	const runs = 400
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "metrics-on"
+		if !on {
+			name = "metrics-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := obs.Enabled()
+			obs.SetEnabled(on)
+			defer obs.SetEnabled(prev)
+			var last *core.CampaignResult
+			for i := 0; i < b.N; i++ {
+				c := &core.Campaign{Plan: &plan, Runs: runs, MasterSeed: 2022, Mode: core.ModeDistribution}
+				res, err := c.Execute(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(runs)*float64(b.N)/secs, "runs_per_sec")
+			}
+			b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
+		})
 	}
 }
 

@@ -9,9 +9,10 @@
 //	certify campaign [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-csv] [-ci] [-out dir|runs.jsonl|runs.jsonl.gz]
 //	                 [-shards K -shard-index I -out shard-I.jsonl]
+//	                 [-metrics-out metrics.json]
 //	certify fanout   [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-shards K] [-parallel P] [-retries R] [-dir DIR]
-//	                 [-gzip] [-stall 2m] [-csv] [-ci]
+//	                 [-gzip] [-stall 2m] [-csv] [-ci] [-metrics-out metrics.json]
 //	certify merge    [-csv] [-ci] [-index master-index.json] shard-*.jsonl[.gz]
 //	certify inspect  [-run K] [-outcome NAME] [-grep REGEX] [-compare TARGET] [-raw]
 //	                 runs.jsonl[.gz] | master-index.json | shard-*.jsonl[.gz]
@@ -78,8 +79,29 @@ import (
 	"github.com/dessertlab/certify/internal/core"
 	"github.com/dessertlab/certify/internal/dist"
 	"github.com/dessertlab/certify/internal/fanout"
+	"github.com/dessertlab/certify/internal/obs"
 	"github.com/dessertlab/certify/internal/sim"
 )
+
+// writeMetricsJSON dumps the flight recorder (every obs metric: run
+// durations, pool latencies, flush batches, ...) as JSON — the
+// -metrics-out sink for batch runs that have no /metrics endpoint to
+// scrape.
+func writeMetricsJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("flight recorder: %s\n", path)
+	return nil
+}
 
 // resolvePlan loads a plan from -planfile when given, else by name.
 func resolvePlan(name, file string) (*core.TestPlan, error) {
@@ -289,6 +311,7 @@ type campaignFlags struct {
 	outDir     string // legacy per-run JSON directory ("" = none)
 	shards     int
 	shardIndex int
+	metricsOut string // flight-recorder JSON dump path ("" = none)
 }
 
 // validateCampaignFlags enforces the -out/-shards/-shard-index
@@ -342,6 +365,7 @@ func cmdCampaign(args []string) error {
 	mode := fs.String("mode", "full", "evidence retention: full (transcripts + per-run artefacts) or distribution (streaming aggregation, fastest)")
 	shards := fs.Int("shards", 1, "split the campaign into K contiguous shards for multi-process fan-out")
 	shardIndex := fs.Int("shard-index", 0, "which shard this process runs (0..K-1); requires -shards")
+	metricsOut := fs.String("metrics-out", "", "write the flight-recorder metrics snapshot (JSON) here after the campaign")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -354,7 +378,7 @@ func cmdCampaign(args []string) error {
 	}
 	cf := &campaignFlags{
 		plan: plan, runs: *runs, seed: *seed, csv: *csv, ci: *ci,
-		shards: *shards, shardIndex: *shardIndex,
+		shards: *shards, shardIndex: *shardIndex, metricsOut: *metricsOut,
 	}
 	if cf.mode, err = parseModeFlag(*mode); err != nil {
 		return err
@@ -387,6 +411,9 @@ func cmdCampaign(args []string) error {
 	printDistribution(cf, res)
 	if cf.mode == core.ModeFull && !cf.csv {
 		fmt.Print(analytics.InjectionSummary(res))
+	}
+	if cf.metricsOut != "" {
+		return writeMetricsJSON(cf.metricsOut)
 	}
 	return nil
 }
@@ -422,6 +449,9 @@ func runShardedCampaign(cf *campaignFlags) error {
 	}
 	if cf.shards > 1 {
 		fmt.Printf("(shard aggregate only — fold all %d shards with 'certify merge')\n", cf.shards)
+	}
+	if cf.metricsOut != "" {
+		return writeMetricsJSON(cf.metricsOut)
 	}
 	return nil
 }
@@ -475,19 +505,20 @@ func cmdMerge(args []string) error {
 
 // fanoutFlags is the parsed + validated fanout flag set.
 type fanoutFlags struct {
-	plan     *core.TestPlan
-	runs     int
-	seed     uint64
-	shards   int
-	parallel int
-	retries  int
-	dir      string
-	mode     core.CampaignMode
-	gzip     bool
-	stall    time.Duration
-	inproc   bool
-	quiet    bool
-	csv, ci  bool
+	plan       *core.TestPlan
+	runs       int
+	seed       uint64
+	shards     int
+	parallel   int
+	retries    int
+	dir        string
+	mode       core.CampaignMode
+	gzip       bool
+	stall      time.Duration
+	inproc     bool
+	quiet      bool
+	csv, ci    bool
+	metricsOut string
 }
 
 // validateFanoutFlags rejects unrunnable configurations with errors
@@ -537,6 +568,7 @@ func cmdFanout(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
+	metricsOut := fs.String("metrics-out", "", "write the flight-recorder metrics snapshot (JSON) here after the fan-out")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -551,7 +583,7 @@ func cmdFanout(args []string) error {
 		plan: plan, runs: *runs, seed: *seed, shards: *shards,
 		parallel: *parallel, retries: *retries, dir: *dir,
 		gzip: *gz, stall: *stall, inproc: *inproc, quiet: *quiet,
-		csv: *csv, ci: *ci,
+		csv: *csv, ci: *ci, metricsOut: *metricsOut,
 	}
 	if ff.mode, err = parseModeFlag(*mode); err != nil {
 		return err
@@ -614,8 +646,14 @@ func runFanout(ff *fanoutFlags) error {
 	fmt.Printf("merged %d shards (%d resumed), %d runs, plan hash %s, master seed %s\n",
 		len(res.Shards), skipped, res.Merged.Total(), res.Manifest.PlanHash, res.Manifest.MasterSeed)
 	fmt.Printf("worker manifest: %s\n", res.ManifestPath)
+	if t := res.Manifest.Timing; t != nil {
+		fmt.Printf("timing: %.2fs elapsed, %.1f runs/s\n", t.ElapsedSeconds, t.RunsPerSec)
+	}
 	cf := &campaignFlags{plan: ff.plan, csv: ff.csv, ci: ff.ci}
 	printDistribution(cf, res.Merged)
+	if ff.metricsOut != "" {
+		return writeMetricsJSON(ff.metricsOut)
+	}
 	return nil
 }
 

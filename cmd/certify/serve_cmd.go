@@ -4,8 +4,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -30,6 +32,7 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "campaign parallelism per job (0 = GOMAXPROCS/slots)")
 	maxRuns := fs.Int("max-runs", 100000, "per-request run-count cap")
 	skipGolden := fs.Bool("skip-golden-check", false, "skip the startup golden-run engine fingerprint")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -42,6 +45,7 @@ func cmdServe(args []string) error {
 		WorkersPerJob:   *workers,
 		MaxRuns:         *maxRuns,
 		SkipGoldenCheck: *skipGolden,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		return err
@@ -55,9 +59,24 @@ func cmdServe(args []string) error {
 		fmt.Printf("engine fingerprint: golden trace hash %#x\n", h)
 	}
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: mount the pprof handlers on a wrapper mux
+		// so the API surface stays closed by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Printf("profiling: http://%s/debug/pprof/\n", ln.Addr())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -139,7 +158,7 @@ func cmdWatch(args []string) error {
 }
 
 // watchJob follows the event stream, printing progress, and reports the
-// terminal view.
+// terminal view plus a server-health footer (queue wait, cache traffic).
 func watchJob(ctx context.Context, c *serve.Client, id string) error {
 	v, err := c.Watch(ctx, id, func(ev serve.Event) {
 		switch ev.Type {
@@ -151,6 +170,10 @@ func watchJob(ctx context.Context, c *serve.Client, id string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if h, herr := c.Health(ctx); herr == nil {
+		fmt.Printf("server: queue wait mean %.1f ms, cache %d hits / %d misses, slots busy %d/%d\n",
+			h.QueueWaitMeanMS, h.CacheHits, h.CacheMisses, h.SlotsBusy, h.Slots)
 	}
 	return reportJob(v)
 }

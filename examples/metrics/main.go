@@ -1,0 +1,142 @@
+// The flight recorder: every layer of the campaign pipeline
+// self-reports through internal/obs, and this demo reads it all back.
+// It runs one campaign locally (core + pool metrics), one through the
+// campaign server (dist + serve metrics), then scrapes GET /metrics in
+// Prometheus text exposition, GET /debug/vars as JSON, and the extended
+// /healthz — and closes with the determinism proof in miniature: the
+// identical campaign with recording disabled produces the identical
+// outcome distribution, because observability is out-of-band by
+// construction. This is `certify serve` + a Prometheus scrape as a
+// library call; `certify campaign -metrics-out` writes the same JSON
+// snapshot without a server.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/obs"
+	"github.com/dessertlab/certify/internal/serve"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func main() {
+	// --- 1. a local campaign feeds the core/pool families -----------
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-metrics-demo"
+	res, err := (&core.Campaign{Plan: &plan, Runs: 40, MasterSeed: 2022,
+		Mode: core.ModeDistribution, Pool: core.NewMachinePool()}).Execute(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("local campaign: %d runs, %.0f%% correct\n",
+		res.Total(), 100*res.Fraction(core.OutcomeCorrect))
+
+	// The registry is process-global: the campaign above already shows
+	// up. Read one counter and one histogram directly.
+	if m, ok := obs.Default.Lookup("certify_core_runs_total"); ok {
+		fmt.Printf("  certify_core_runs_total: %s\n", firstValue(m))
+	}
+
+	// --- 2. a served campaign feeds dist + serve ---------------------
+	dir, err := os.MkdirTemp("", "metrics-demo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.New(serve.Config{DataDir: dir, Slots: 1, SkipGoldenCheck: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	c := &serve.Client{Base: ts.URL, HTTP: ts.Client()}
+	ctx := context.Background()
+	v, err := c.Submit(ctx, &serve.SubmitRequest{Plan: "E3-fig3", Runs: 10, Seed: 7, Tenant: "demo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		jv, err := c.Job(ctx, v.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jv.State.Terminal() {
+			fmt.Printf("served campaign: job %s %s\n", jv.ID, jv.State)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// --- 3. scrape /metrics: Prometheus text exposition --------------
+	fmt.Println("\nGET /metrics (one sample per family):")
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		family := line[:strings.IndexAny(line, "{ ")]
+		family = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family, "_bucket"), "_sum"), "_count")
+		if seen[family] {
+			continue
+		}
+		seen[family] = true
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("  ... %d families total\n", len(seen))
+
+	// --- 4. /debug/vars + the extended /healthz ----------------------
+	h, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/healthz aggregates: uptime %.1fs, cache %d hits / %d misses, queue wait mean %.1f ms\n",
+		h.UptimeSeconds, h.CacheHits, h.CacheMisses, h.QueueWaitMeanMS)
+
+	// --- 5. the out-of-band proof in miniature -----------------------
+	// Same campaign, recording off: identical outcomes. The full pin
+	// (byte-identical artefacts) is TestInstrumentationIsOutOfBand.
+	obs.SetEnabled(false)
+	res2, err := (&core.Campaign{Plan: &plan, Runs: 40, MasterSeed: 2022,
+		Mode: core.ModeDistribution, Pool: core.NewMachinePool()}).Execute(context.Background())
+	obs.SetEnabled(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := res.Count(core.OutcomeCorrect) == res2.Count(core.OutcomeCorrect) &&
+		res.InjectionsTotal() == res2.InjectionsTotal()
+	fmt.Printf("\nrecording off → identical distribution: %v (%d correct, %d injections)\n",
+		same, res2.Count(core.OutcomeCorrect), res2.InjectionsTotal())
+}
+
+// firstValue renders a metric's first series value for the demo print.
+func firstValue(m obs.Metric) string {
+	snap := obs.Default.Snapshot()
+	for _, s := range snap {
+		if s.Name == m.Name() && len(s.Series) > 0 {
+			return fmt.Sprintf("%.0f", s.Series[0].Value)
+		}
+	}
+	return "?"
+}

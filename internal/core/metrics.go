@@ -1,0 +1,52 @@
+package core
+
+import "github.com/dessertlab/certify/internal/obs"
+
+// Flight-recorder instrumentation for the experiment hot path. Naming
+// follows certify_<layer>_<what>_<unit> (see DESIGN.md "Observability &
+// flight recorder"). Everything here is out-of-band: the metrics read
+// wall clocks and engine telemetry, never run state, so instrumented
+// campaigns stay bit-identical to uninstrumented ones (pinned by
+// TestInstrumentationIsOutOfBand in internal/dist).
+var (
+	metRunsTotal = obs.Default.NewCounter(
+		"certify_core_runs_total",
+		"Experiment runs completed (all verdicts).")
+	metRunDuration = obs.Default.NewHistogram(
+		"certify_core_run_duration_seconds",
+		"Wall time of one experiment run, machine acquisition included.",
+		obs.LatencyBuckets)
+	metSimEvents = obs.Default.NewCounter(
+		"certify_core_sim_events_total",
+		"Simulation events delivered across all runs.")
+	metSimEventsPerRun = obs.Default.NewHistogram(
+		"certify_core_sim_events_per_run",
+		"Simulation events delivered in one run.",
+		obs.ExpBuckets(256, 4, 12))
+
+	metPoolGet = obs.Default.NewHistogram(
+		"certify_pool_get_seconds",
+		"MachinePool.Get latency (deep reset or cold build included).",
+		obs.LatencyBuckets)
+	metPoolPut = obs.Default.NewHistogram(
+		"certify_pool_put_seconds",
+		"MachinePool.Put latency.",
+		obs.LatencyBuckets)
+	metDeepReset = obs.Default.NewHistogram(
+		"certify_pool_deep_reset_seconds",
+		"Machine.DeepReset latency on the pool and scratch warm paths.",
+		obs.LatencyBuckets)
+	metPoolColdBuilds = obs.Default.NewCounter(
+		"certify_pool_cold_builds_total",
+		"Pool Gets that built a machine cold (pool empty).")
+	metPoolReuses = obs.Default.NewCounter(
+		"certify_pool_reuses_total",
+		"Pool Gets answered by deep-resetting a warm machine.")
+
+	metScratchReuses = obs.Default.NewCounter(
+		"certify_core_scratch_reuses_total",
+		"Runs that deep-reset a per-worker scratch machine.")
+	metScratchColdBuilds = obs.Default.NewCounter(
+		"certify_core_scratch_cold_builds_total",
+		"Runs that built a machine cold (first scratch use or no reuse).")
+)

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // MachinePool recycles fully built machines across experiment runs: Get
 // hands out a warm machine restored to power-on state via
@@ -37,6 +40,8 @@ func NewMachinePool() *MachinePool { return &MachinePool{} }
 // when one is idle, a cold build otherwise. opts.Scratch is ignored for
 // pooled machines (they recycle their own buffers).
 func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
+	start := time.Now()
+	defer metPoolGet.ObserveSince(start)
 	p.mu.Lock()
 	var m *Machine
 	if n := len(p.idle); n > 0 {
@@ -51,14 +56,18 @@ func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
 
 	if m == nil {
 		opts.Scratch = nil // pool machines own their buffers
+		metPoolColdBuilds.Inc()
 		return BuildMachine(opts)
 	}
+	resetStart := time.Now()
 	if err := m.DeepReset(opts); err != nil {
 		// The machine is mid-boot garbage now; drop it rather than pool
 		// it, and report the failure instead of masking a possible leak
 		// with a silent rebuild.
 		return nil, err
 	}
+	metDeepReset.ObserveSince(resetStart)
+	metPoolReuses.Inc()
 	return m, nil
 }
 
@@ -68,9 +77,11 @@ func (p *MachinePool) Put(m *Machine) {
 	if m == nil {
 		return
 	}
+	start := time.Now()
 	p.mu.Lock()
 	p.idle = append(p.idle, m)
 	p.mu.Unlock()
+	metPoolPut.ObserveSince(start)
 }
 
 // Size reports how many machines sit idle in the pool.

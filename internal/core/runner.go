@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dessertlab/certify/internal/armv7"
 	"github.com/dessertlab/certify/internal/jailhouse"
@@ -82,6 +83,7 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	started := time.Now()
 	opts := MachineOptions{Seed: seed, StateWatchdog: true}
 	// Pre-size the trace arenas from the plan profile: one allocation
 	// per arena up front instead of a doubling cascade during the run.
@@ -151,6 +153,12 @@ func RunExperimentOpts(plan *TestPlan, seed uint64, ro RunOptions) (*RunResult, 
 	if m.RTOS != nil {
 		res.LEDToggles = m.RTOS.LEDToggleCount()
 	}
+	metRunsTotal.Inc()
+	metRunDuration.ObserveSince(started)
+	if ev := m.Board.Engine.Executed(); ev > 0 {
+		metSimEvents.Add(ev)
+		metSimEventsPerRun.Observe(float64(ev))
+	}
 	return res, nil
 }
 
@@ -172,9 +180,12 @@ func acquireMachine(ro RunOptions, opts MachineOptions) (*Machine, func(), error
 		}
 		return m, func() { ro.Pool.Put(m) }, nil
 	case ro.Scratch != nil && ro.Scratch.machine != nil:
+		start := time.Now()
 		if err := ro.Scratch.machine.DeepReset(opts); err != nil {
 			return nil, nil, fmt.Errorf("deep reset machine: %w", err)
 		}
+		metDeepReset.ObserveSince(start)
+		metScratchReuses.Inc()
 		return ro.Scratch.machine, noRelease, nil
 	case ro.Scratch != nil:
 		opts.Scratch = ro.Scratch
@@ -183,12 +194,14 @@ func acquireMachine(ro RunOptions, opts MachineOptions) (*Machine, func(), error
 			return nil, nil, fmt.Errorf("build machine: %w", err)
 		}
 		ro.Scratch.machine = m // warm from now on
+		metScratchColdBuilds.Inc()
 		return m, noRelease, nil
 	default:
 		m, err := BuildMachine(opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("build machine: %w", err)
 		}
+		metScratchColdBuilds.Inc()
 		return m, noRelease, nil
 	}
 }

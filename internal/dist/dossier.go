@@ -73,6 +73,7 @@ func OpenDossier(path string) (*Dossier, error) {
 	}
 	if ix, err := d.loadFooter(); err == nil {
 		if verr := d.adoptIndex(ix); verr == nil {
+			metDossierIndexedOpens.Inc()
 			return d, nil
 		}
 	}
@@ -80,6 +81,7 @@ func OpenDossier(path string) (*Dossier, error) {
 		f.Close()
 		return nil, err
 	}
+	metDossierFallbackScans.Inc()
 	return d, nil
 }
 
@@ -177,9 +179,11 @@ func (d *Dossier) RawRun(k int) ([]byte, error) {
 	}
 	line, err := d.readSpan(e)
 	if err == nil && verifyRunLine(line, k) {
+		metDossierIndexedReads.Inc()
 		return line, nil
 	}
 	// The footer lied (bad offset, mid-write corruption): abandon it.
+	metDossierFallbackScans.Inc()
 	if derr := d.degrade(); derr != nil {
 		return nil, fmt.Errorf("dist: %s: indexed read of run %d failed (%v) and sequential fallback too: %w", d.path, k, err, derr)
 	}

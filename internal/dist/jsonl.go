@@ -299,6 +299,9 @@ func (jw *JSONLWriter) writeLine(v any) error {
 // — decoding can start at any member boundary without the stream
 // history a mid-member seek would need. Callers hold mu.
 func (jw *JSONLWriter) flushLocked() {
+	if jw.pending > 0 {
+		metFlushBatch.Observe(float64(jw.pending))
+	}
 	jw.pending = 0
 	if err := jw.w.Flush(); err != nil {
 		if jw.err == nil {
@@ -394,6 +397,7 @@ func (jw *JSONLWriter) OnRun(index int, r *core.RunResult) {
 	start := jw.lineCount.n
 	if jw.writeLine(rec) == nil {
 		jw.runs++
+		metRecords.Inc()
 		if jw.idx != nil {
 			jw.idx.entries = append(jw.idx.entries, IndexEntry{
 				Index:       index,

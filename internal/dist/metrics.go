@@ -1,0 +1,27 @@
+package dist
+
+import "github.com/dessertlab/certify/internal/obs"
+
+// Flight-recorder instrumentation for the artefact layer: how records
+// batch into flushes on the write side, and how often reads get the
+// indexed fast path vs the sequential fallback on the read side. All
+// out-of-band — nothing here touches artefact bytes.
+var (
+	metRecords = obs.Default.NewCounter(
+		"certify_dist_records_total",
+		"Run records appended to JSONL shard artefacts.")
+	metFlushBatch = obs.Default.NewHistogram(
+		"certify_dist_flush_batch_records",
+		"Run records made visible per JSONL flush (batch size).",
+		obs.SizeBuckets)
+
+	metDossierIndexedOpens = obs.Default.NewCounter(
+		"certify_dist_dossier_indexed_opens_total",
+		"Dossier opens that adopted a verified index footer.")
+	metDossierFallbackScans = obs.Default.NewCounter(
+		"certify_dist_dossier_fallback_scans_total",
+		"Dossier opens or reads that fell back to a sequential scan.")
+	metDossierIndexedReads = obs.Default.NewCounter(
+		"certify_dist_dossier_indexed_reads_total",
+		"Random-access record reads served through the index.")
+)

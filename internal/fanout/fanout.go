@@ -121,6 +121,21 @@ type Attempt struct {
 	Outcome string `json:"outcome"`          // completed|skipped|crashed|stalled|aborted|launch-failed
 	Detail  string `json:"detail,omitempty"` // exit / launch error text
 	Runs    int    `json:"runs"`             // run records in the artefact when the attempt ended
+	// ElapsedSeconds is the attempt's wall time, launch to judgement.
+	// Zero for resume skips (no worker ran).
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+}
+
+// Timing is the fan-out's wall-clock summary in fanout.json: when
+// supervision started and finished, and the end-to-end throughput the
+// campaign achieved (resumed-and-skipped runs included in the count, so
+// a pure resume reports a very high rate — read it next to the
+// per-shard attempts).
+type Timing struct {
+	Started        string  `json:"started"`         // RFC3339Nano, supervisor start
+	Finished       string  `json:"finished"`        // RFC3339Nano, manifest write
+	ElapsedSeconds float64 `json:"elapsed_seconds"` // finished - started
+	RunsPerSec     float64 `json:"runs_per_sec,omitempty"`
 }
 
 // ShardStatus is one shard's manifest entry.
@@ -149,8 +164,11 @@ type Manifest struct {
 	// MasterIndex names the campaign-level index document composed from
 	// the shard footers after the merge (relative to the campaign
 	// directory); empty until the fan-out completes.
-	MasterIndex string        `json:"master_index,omitempty"`
-	Workers     []ShardStatus `json:"workers"`
+	MasterIndex string `json:"master_index,omitempty"`
+	// Timing is the fan-out's wall-clock summary (nil in manifests
+	// written by pre-flight-recorder supervisors).
+	Timing  *Timing       `json:"timing,omitempty"`
+	Workers []ShardStatus `json:"workers"`
 }
 
 // Result is a completed fan-out: the merged campaign aggregate, the
@@ -179,12 +197,38 @@ type shardState struct {
 // supervisor holds the shared state of one Run.
 type supervisor struct {
 	cfg             Config
-	workersPerShard int // campaign parallelism handed to each worker
+	workersPerShard int       // campaign parallelism handed to each worker
+	started         time.Time // wall-clock start, for the manifest timing summary
 	mu              sync.Mutex
 	shards          []*shardState
 	cancel          context.CancelFunc // aborts the whole fan-out
 	failed          error              // first permanent failure
 	progressMu      sync.Mutex         // serialises OnProgress deliveries
+}
+
+// stampTiming (re)computes the manifest's wall-clock summary as of now.
+// Called at every manifest write so the final (post-merge) fanout.json
+// covers the merge and master-index composition too.
+func (s *supervisor) stampTiming(m *Manifest) {
+	now := time.Now()
+	elapsed := now.Sub(s.started).Seconds()
+	t := &Timing{
+		Started:        s.started.Format(time.RFC3339Nano),
+		Finished:       now.Format(time.RFC3339Nano),
+		ElapsedSeconds: elapsed,
+	}
+	if elapsed > 0 {
+		done := 0
+		s.mu.Lock()
+		for _, st := range s.shards {
+			if st.state == StateCompleted || st.state == StateSkipped {
+				done += st.runs
+			}
+		}
+		s.mu.Unlock()
+		t.RunsPerSec = float64(done) / elapsed
+	}
+	m.Timing = t
 }
 
 // ArtefactPath returns the shard artefact path the supervisor uses for
@@ -246,7 +290,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	s := &supervisor{cfg: cfg, cancel: cancel}
+	s := &supervisor{cfg: cfg, cancel: cancel, started: time.Now()}
 	// Split the machine between concurrent workers: each shard worker
 	// runs its campaign with a fair share of the cores instead of
 	// Parallel × GOMAXPROCS oversubscription.
@@ -320,6 +364,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	s.emitProgress()
 
 	manifest := s.buildManifest()
+	s.stampTiming(manifest)
 	manifestPath := filepath.Join(cfg.Dir, ManifestFileName)
 	if err := writeManifest(manifestPath, manifest); err != nil {
 		return nil, err
@@ -358,6 +403,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	manifest.Completed = true
 	manifest.MasterIndex = dist.MasterIndexFileName
+	s.stampTiming(manifest)
 	if err := writeManifest(manifestPath, manifest); err != nil {
 		return nil, err
 	}
@@ -395,6 +441,7 @@ func (s *supervisor) superviseShard(ctx context.Context, st *shardState, specPat
 					st.shard.Index, spent+1, s.cfg.Retries, lastDetail(st)))
 				return
 			}
+			metRestarts.Inc()
 			// loop: next attempt
 		}
 	}
@@ -414,6 +461,7 @@ func (s *supervisor) runAttempt(ctx context.Context, st *shardState, specPath st
 	if ctx.Err() != nil {
 		return attemptAbort
 	}
+	attStart := time.Now()
 	s.mu.Lock()
 	st.state = StateRunning
 	st.attempt++
@@ -429,7 +477,11 @@ func (s *supervisor) runAttempt(ctx context.Context, st *shardState, specPath st
 	}
 	w, err := s.cfg.Launcher.Start(ctx, req)
 	if err != nil {
-		s.recordAttempt(st, Attempt{Worker: "unlaunched", Outcome: "launch-failed", Detail: err.Error()})
+		metLaunchFailures.Inc()
+		s.recordAttempt(st, Attempt{
+			Worker: "unlaunched", Outcome: "launch-failed", Detail: err.Error(),
+			ElapsedSeconds: time.Since(attStart).Seconds(),
+		})
 		return attemptRetry
 	}
 
@@ -479,15 +531,17 @@ monitor:
 	}
 
 	// Judge by the artefact, not the exit status.
-	att := Attempt{Worker: w.Describe()}
+	att := Attempt{Worker: w.Describe(), ElapsedSeconds: time.Since(attStart).Seconds()}
 	sf, rerr := dist.ReadShard(st.path)
 	complete := rerr == nil && sf.Complete && sf.Manifest.MatchesShard(st.shard)
 	if rerr == nil && !sf.Manifest.SameCampaignAs(st.shard) {
 		// A foreign artefact appeared under our path: unrecoverable
 		// operator error, retrying would refuse forever.
+		metCrashes.Inc()
 		s.recordAttempt(st, Attempt{
 			Worker: att.Worker, Outcome: "crashed",
-			Detail: fmt.Sprintf("artefact %s belongs to a different campaign", st.path),
+			Detail:         fmt.Sprintf("artefact %s belongs to a different campaign", st.path),
+			ElapsedSeconds: att.ElapsedSeconds,
 		})
 		s.failShard(st, fmt.Errorf("fanout: %s belongs to a different campaign: %w", st.path, dist.ErrCampaignMismatch))
 		return attemptDone
@@ -498,6 +552,7 @@ monitor:
 	switch {
 	case complete:
 		att.Outcome = "completed"
+		metShardsCompleted.Inc()
 		s.mu.Lock()
 		st.state = StateCompleted
 		st.runs = sf.Records
@@ -513,11 +568,13 @@ monitor:
 	case stalled:
 		att.Outcome = "stalled"
 		att.Detail = fmt.Sprintf("no artefact progress for %v; killed", s.cfg.StallTimeout)
+		metStalls.Inc()
 		s.recordAttempt(st, att)
 		return attemptRetry
 	default:
 		att.Outcome = "crashed"
 		att.Detail = detailFrom(waitErr, rerr)
+		metCrashes.Inc()
 		s.recordAttempt(st, att)
 		return attemptRetry
 	}

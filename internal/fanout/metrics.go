@@ -1,0 +1,24 @@
+package fanout
+
+import "github.com/dessertlab/certify/internal/obs"
+
+// Flight-recorder instrumentation for the supervisor: how often shards
+// complete cleanly vs. crash, stall or fail to launch, and how many
+// restarts the retry budget actually buys.
+var (
+	metShardsCompleted = obs.Default.NewCounter(
+		"certify_fanout_shards_completed_total",
+		"Shard attempts judged complete by their artefact.")
+	metCrashes = obs.Default.NewCounter(
+		"certify_fanout_crashes_total",
+		"Shard attempts that exited without a complete artefact.")
+	metStalls = obs.Default.NewCounter(
+		"certify_fanout_stalls_total",
+		"Shard attempts killed by the stall watchdog.")
+	metLaunchFailures = obs.Default.NewCounter(
+		"certify_fanout_launch_failures_total",
+		"Shard worker launches that failed outright.")
+	metRestarts = obs.Default.NewCounter(
+		"certify_fanout_restarts_total",
+		"Shard relaunches spent from retry budgets.")
+)

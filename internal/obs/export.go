@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE comments, then one line per
+// series, histogram buckets cumulative with a trailing +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		for _, ser := range s.Series {
+			if err := writeSeries(w, s, ser); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, s Snapshot, ser Series) error {
+	label := ""
+	if ser.Label != "" {
+		label = fmt.Sprintf(`%s=%q`, s.Label, ser.Label)
+	}
+	if s.Kind != "histogram" {
+		suffix := ""
+		if label != "" {
+			suffix = "{" + label + "}"
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, suffix, formatValue(ser.Value))
+		return err
+	}
+	for _, b := range ser.Buckets {
+		le := formatValue(b.UpperBound)
+		if math.IsInf(b.UpperBound, 1) {
+			le = "+Inf"
+		}
+		parts := []string{fmt.Sprintf(`le=%q`, le)}
+		if label != "" {
+			parts = append([]string{label}, parts...)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.Name, strings.Join(parts, ","), b.Count); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, suffix, formatValue(ser.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, suffix, ser.Count)
+	return err
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON renders the registry as one JSON object keyed by metric
+// name — the /debug/vars (expvar-style) and -metrics-out shape.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]any)
+	for _, s := range r.Snapshot() {
+		doc[s.Name] = jsonValue(s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// jsonValue flattens a snapshot: plain scalars stay scalars, vec and
+// histogram metrics become small objects.
+func jsonValue(s Snapshot) any {
+	if s.Kind != "histogram" && len(s.Series) == 1 && s.Series[0].Label == "" {
+		return s.Series[0].Value
+	}
+	if s.Kind != "histogram" {
+		m := make(map[string]float64, len(s.Series))
+		for _, ser := range s.Series {
+			m[ser.Label] = ser.Value
+		}
+		return m
+	}
+	if len(s.Series) == 1 && s.Series[0].Label == "" {
+		return histJSON(s.Series[0])
+	}
+	m := make(map[string]any, len(s.Series))
+	for _, ser := range s.Series {
+		m[ser.Label] = histJSON(ser)
+	}
+	return m
+}
+
+type histDoc struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+func histJSON(ser Series) histDoc {
+	d := histDoc{Count: ser.Count, Sum: ser.Sum}
+	for _, b := range ser.Buckets {
+		le := formatValue(b.UpperBound)
+		if math.IsInf(b.UpperBound, 1) {
+			le = "+Inf"
+		}
+		d.Buckets = append(d.Buckets, bucketJSON{LE: le, Count: b.Count})
+	}
+	return d
+}

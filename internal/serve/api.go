@@ -122,10 +122,24 @@ type Event struct {
 type Health struct {
 	Status          string `json:"status"`
 	GoldenTraceHash string `json:"golden_trace_hash"`
-	Jobs            int    `json:"jobs"`
-	Queued          int    `json:"queued"`
-	Slots           int    `json:"slots"`
-	CacheEntries    int    `json:"cache_entries"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Jobs          int     `json:"jobs"`
+	Queued        int     `json:"queued"`
+	// Running counts jobs currently executing; CachedJobs counts jobs
+	// that were answered from the result cache.
+	Running    int `json:"running"`
+	CachedJobs int `json:"cached_jobs"`
+	Slots      int `json:"slots"`
+	// SlotsBusy is the number of execution slots currently occupied.
+	SlotsBusy    int `json:"slots_busy"`
+	CacheEntries int `json:"cache_entries"`
+	// CacheHits / CacheMisses count verified cache probes over the
+	// server's lifetime; QueueWaitMeanMS is the mean submission → start
+	// wait of executed jobs (0 until a job has executed).
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	QueueWaitMeanMS float64 `json:"queue_wait_mean_ms"`
 }
 
 // Error classes carried in API error bodies; `certify submit` maps them

@@ -53,11 +53,14 @@ func (c *cache) lookup(spec *dist.Spec) (*dist.ShardFile, bool) {
 	}
 	sf, err := dist.ReadShard(c.artefactPath(cacheKey(spec)))
 	if err != nil {
+		metCacheMisses.Inc()
 		return nil, false
 	}
 	if !sf.Complete || !sf.Manifest.MatchesShard(sh) {
+		metCacheMisses.Inc()
 		return nil, false
 	}
+	metCacheHits.Inc()
 	return sf, true
 }
 
@@ -90,6 +93,7 @@ func (c *cache) prepare(spec *dist.Spec) (string, error) {
 		if err := os.Remove(path); err != nil {
 			return "", err
 		}
+		metCachePoisoned.Inc()
 	case rerr != nil && !os.IsNotExist(rerr) && !errors.Is(rerr, dist.ErrTorn):
 		// Unreadable non-torn file (corrupted records, flipped bytes):
 		// ExecuteShard would refuse to overwrite it, so clear it here —
@@ -99,6 +103,7 @@ func (c *cache) prepare(spec *dist.Spec) (string, error) {
 		if err := os.Remove(path); err != nil {
 			return "", err
 		}
+		metCachePoisoned.Inc()
 	}
 	return path, nil
 }

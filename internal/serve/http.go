@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/dessertlab/certify/internal/dist"
+	"github.com/dessertlab/certify/internal/obs"
 )
 
 // Handler returns the server's HTTP API:
@@ -24,6 +25,8 @@ import (
 //	GET    /jobs/{id}/artefact canonical shard artefact (NDJSON)
 //	GET    /jobs/{id}/result   terminal JobView (409 while in flight)
 //	GET    /healthz            Health + golden engine fingerprint
+//	GET    /metrics            flight recorder, Prometheus text exposition
+//	GET    /debug/vars         flight recorder, expvar-style JSON
 //
 // Errors are JSON bodies {"error": ..., "class": ...}; the class is the
 // machine-readable half the certify CLI maps onto exit codes.
@@ -38,7 +41,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artefact", s.handleArtefact)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
 	return mux
+}
+
+// handleMetrics serves the process-wide flight recorder in Prometheus
+// text exposition format: every registered metric family across core,
+// pool, dist, fanout and serve.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// handleDebugVars serves the same registry as one JSON object keyed by
+// metric name — the expvar-style view for humans and scripts.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.Default.WriteJSON(w)
 }
 
 // writeAPIError emits the uniform error body.

@@ -60,6 +60,7 @@ type Job struct {
 
 func newJob(id, tenant, key string, spec *dist.Spec, parent context.Context) *Job {
 	ctx, cancel := context.WithCancel(parent)
+	metJobTransitions.With(string(StateQueued)).Inc()
 	return &Job{
 		id:      id,
 		tenant:  tenant,
@@ -83,6 +84,13 @@ func (j *Job) State() State {
 	return j.state
 }
 
+// stateAndCached snapshots the fields /healthz aggregates over.
+func (j *Job) stateAndCached() (State, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.cached
+}
+
 // begin claims the job for execution (queued → running), stamping the
 // server-wide start sequence. It returns false when the job was
 // cancelled while queued — the executor then releases its slot without
@@ -95,6 +103,8 @@ func (j *Job) begin(seq int) bool {
 	}
 	j.state = StateRunning
 	j.startSeq = seq
+	metJobTransitions.With(string(StateRunning)).Inc()
+	metQueueWait.With(j.tenant).ObserveSince(j.created)
 	return true
 }
 
@@ -112,6 +122,7 @@ func (j *Job) finish(state State, mutate func()) {
 		mutate()
 	}
 	j.mu.Unlock()
+	metJobTransitions.With(string(state)).Inc()
 	close(j.done)
 }
 
@@ -149,6 +160,7 @@ func (j *Job) finishIfQueuedCancelled() {
 	}
 	j.state = StateCancelled
 	j.mu.Unlock()
+	metJobTransitions.With(string(StateCancelled)).Inc()
 	close(j.done)
 }
 

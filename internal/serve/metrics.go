@@ -1,0 +1,35 @@
+package serve
+
+import "github.com/dessertlab/certify/internal/obs"
+
+// Flight-recorder instrumentation for the campaign server: queue wait
+// per tenant, slot occupancy, cache effectiveness and the job lifecycle
+// as a transition stream. Exposed on the server's own mux via
+// GET /metrics (Prometheus) and GET /debug/vars (JSON).
+var (
+	metQueueWait = obs.Default.NewHistogramVec(
+		"certify_serve_queue_wait_seconds",
+		"Time a job waited from submission to execution start, by tenant.",
+		"tenant", obs.LatencyBuckets)
+	metSlotsBusy = obs.Default.NewGauge(
+		"certify_serve_slots_busy",
+		"Execution slots currently occupied.")
+	metQueueDepth = obs.Default.NewGauge(
+		"certify_serve_queue_depth",
+		"Jobs waiting in the fair queue.")
+
+	metCacheHits = obs.Default.NewCounter(
+		"certify_serve_cache_hits_total",
+		"Submissions answered from the verified result cache.")
+	metCacheMisses = obs.Default.NewCounter(
+		"certify_serve_cache_misses_total",
+		"Cache probes that found no servable entry.")
+	metCachePoisoned = obs.Default.NewCounter(
+		"certify_serve_cache_poisoned_total",
+		"Cache entries removed as poisoned (foreign or unreadable).")
+
+	metJobTransitions = obs.Default.NewCounterVec(
+		"certify_serve_job_transitions_total",
+		"Job lifecycle transitions, by state entered.",
+		"state")
+)

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sampleLine is the Prometheus text-exposition sample grammar this repo
+// emits: name, optional one-label set, a float value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[-+]?[0-9].*|[-+]?Inf)$`)
+
+// TestMetricsEndpoint drives one campaign through the server and checks
+// GET /metrics is valid Prometheus text exposition covering the metric
+// families of every instrumented layer — core, pool, dist and serve —
+// and that GET /debug/vars serves the same registry as JSON.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{SkipGoldenCheck: true, WorkersPerJob: 2})
+	v, err := c.Submit(context.Background(), &SubmitRequest{PlanFile: shortPlanText, Runs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitTerminal(t, c, v.ID); fin.State != StateCompleted {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Error)
+	}
+
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET /metrics: Content-Type %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// One family per instrumented layer must be present with HELP/TYPE.
+	for _, fam := range []string{
+		"certify_core_runs_total",
+		"certify_core_run_duration_seconds",
+		"certify_pool_get_seconds",
+		"certify_dist_records_total",
+		"certify_serve_job_transitions_total",
+		"certify_serve_queue_wait_seconds",
+	} {
+		if !strings.Contains(text, "# HELP "+fam+" ") {
+			t.Errorf("exposition lacks HELP for %s", fam)
+		}
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Errorf("exposition lacks TYPE for %s", fam)
+		}
+	}
+	// The completed job must be visible in the serve families.
+	if !strings.Contains(text, `certify_serve_job_transitions_total{state="completed"}`) {
+		t.Errorf("no completed-state transition sample in exposition")
+	}
+
+	// Every non-comment line is a well-formed sample; histograms carry
+	// the cumulative +Inf bucket.
+	sc := bufio.NewScanner(strings.NewReader(text))
+	samples, infBuckets := 0, 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		samples++
+		if strings.Contains(line, `le="+Inf"`) {
+			infBuckets++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("exposition carries no samples")
+	}
+	if infBuckets == 0 {
+		t.Fatal("no histogram +Inf bucket in exposition")
+	}
+
+	// /debug/vars: same registry, one JSON object keyed by metric name.
+	vresp, err := http.Get(c.Base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	if _, ok := vars["certify_core_runs_total"]; !ok {
+		t.Errorf("/debug/vars lacks certify_core_runs_total (keys: %d)", len(vars))
+	}
+
+	// The extended /healthz carries the flight-recorder aggregates the
+	// watch footer prints: this server executed one uncached job.
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheMisses < 1 {
+		t.Errorf("healthz cache_misses = %d, want ≥ 1", h.CacheMisses)
+	}
+	if h.QueueWaitMeanMS < 0 {
+		t.Errorf("healthz queue_wait_mean_ms = %v, want ≥ 0", h.QueueWaitMeanMS)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("healthz uptime_seconds = %v, want > 0", h.UptimeSeconds)
+	}
+	if h.Running != 0 || h.SlotsBusy != 0 {
+		t.Errorf("healthz running=%d slots_busy=%d after terminal job, want 0/0", h.Running, h.SlotsBusy)
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dessertlab/certify/internal/core"
@@ -53,16 +55,21 @@ type Config struct {
 	// SkipGoldenCheck skips the startup golden-run fingerprint (tests
 	// that never look at /healthz shave the ~fault-free-minute it costs).
 	SkipGoldenCheck bool
+	// Logger receives structured job-lifecycle logs (tenant, job, state,
+	// durations). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Server owns the queue, the cache, the warm pool and the job table.
 // Construct with New, serve its Handler, stop with Shutdown.
 type Server struct {
-	cfg    Config
-	cache  *cache
-	q      *fairQueue
-	pool   *core.MachinePool
-	golden uint64 // startup golden-run trace hash (0 when skipped)
+	cfg     Config
+	cache   *cache
+	q       *fairQueue
+	pool    *core.MachinePool
+	golden  uint64 // startup golden-run trace hash (0 when skipped)
+	log     *slog.Logger
+	started time.Time
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -76,6 +83,15 @@ type Server struct {
 
 	slots chan struct{}
 	wg    sync.WaitGroup
+
+	// Flight-recorder aggregates for /healthz, kept per-server (the obs
+	// registry is process-global, so two servers in one process would
+	// otherwise blend their numbers).
+	slotsBusy   atomic.Int64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	waitSumNS   atomic.Int64
+	waitCount   atomic.Int64
 }
 
 // New builds a Server, runs the startup golden self-check and starts
@@ -116,6 +132,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		golden = gp.TraceHash
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -123,12 +143,17 @@ func New(cfg Config) (*Server, error) {
 		q:       newFairQueue(),
 		pool:    pool,
 		golden:  golden,
+		log:     logger,
+		started: time.Now(),
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
 		keyBusy: make(map[string]chan struct{}),
 		slots:   make(chan struct{}, cfg.Slots),
 	}
+	s.log.Info("server started",
+		"slots", cfg.Slots, "workers_per_job", cfg.WorkersPerJob,
+		"golden_trace_hash", fmt.Sprintf("%#x", golden))
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
@@ -140,12 +165,19 @@ func (s *Server) GoldenTraceHash() uint64 { return s.golden }
 
 // Shutdown cancels every running job, discards the queue (marking the
 // queued jobs cancelled) and waits for the dispatcher and executors to
-// drain, up to ctx's deadline.
+// drain, up to ctx's deadline. The drain is logged — queued jobs
+// discarded, in-flight jobs at the moment of the stop, and whether the
+// drain completed or was cut by the deadline — so an operator reading
+// the log can tell a clean drain from a cut.
 func (s *Server) Shutdown(ctx context.Context) error {
+	inflight := int(s.slotsBusy.Load())
 	s.stop()
-	for _, j := range s.q.drain() {
+	queued := s.q.drain()
+	for _, j := range queued {
 		j.requestCancel()
 	}
+	s.log.Info("shutdown: draining",
+		"queued_discarded", len(queued), "in_flight", inflight)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -153,8 +185,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("shutdown: drain complete", "uptime", time.Since(s.started).String())
 		return nil
 	case <-ctx.Done():
+		s.log.Warn("shutdown: drain cut by deadline",
+			"still_in_flight", s.slotsBusy.Load(), "err", ctx.Err())
 		return ctx.Err()
 	}
 }
@@ -183,10 +218,18 @@ func (s *Server) Submit(req *SubmitRequest) (*Job, error) {
 
 	// Synchronous cache probe: a verified hit never touches the queue.
 	if sf, ok := s.cache.lookup(spec); ok {
+		s.cacheHits.Add(1)
 		j.finishCompleted(sf.Result, true)
+		s.log.Info("job served from cache",
+			"job", id, "tenant", tenant, "plan", spec.Plan.Name, "runs", spec.Runs)
 		return j, nil
 	}
+	s.cacheMisses.Add(1)
 	s.q.push(j)
+	metQueueDepth.Set(int64(s.q.depth()))
+	s.log.Info("job queued",
+		"job", id, "tenant", tenant, "plan", spec.Plan.Name,
+		"runs", spec.Runs, "mode", spec.Mode.String())
 	return j, nil
 }
 
@@ -229,15 +272,35 @@ func (s *Server) ArtefactPath(j *Job) string { return s.cache.artefactPath(j.key
 func (s *Server) Health() Health {
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	running, cached := 0, 0
+	for _, j := range s.jobs {
+		st, fromCache := j.stateAndCached()
+		if st == StateRunning {
+			running++
+		}
+		if fromCache {
+			cached++
+		}
+	}
 	s.mu.Unlock()
-	return Health{
+	h := Health{
 		Status:          "ok",
 		GoldenTraceHash: fmt.Sprintf("%#x", s.golden),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
 		Jobs:            jobs,
 		Queued:          s.q.depth(),
+		Running:         running,
+		CachedJobs:      cached,
 		Slots:           s.cfg.Slots,
+		SlotsBusy:       int(s.slotsBusy.Load()),
 		CacheEntries:    s.cache.entries(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
 	}
+	if n := s.waitCount.Load(); n > 0 {
+		h.QueueWaitMeanMS = float64(s.waitSumNS.Load()) / float64(n) / 1e6
+	}
+	return h
 }
 
 // dispatch is the admission loop: acquire a free execution slot FIRST,
@@ -258,10 +321,17 @@ func (s *Server) dispatch() {
 			<-s.slots
 			return
 		}
+		metQueueDepth.Set(int64(s.q.depth()))
+		s.slotsBusy.Add(1)
+		metSlotsBusy.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer func() { <-s.slots }()
+			defer func() {
+				<-s.slots
+				s.slotsBusy.Add(-1)
+				metSlotsBusy.Dec()
+			}()
 			s.execute(j)
 		}()
 	}
@@ -302,39 +372,56 @@ func (s *Server) lockKey(key string) func() {
 
 // execute runs one admitted job inside an execution slot.
 func (s *Server) execute(j *Job) {
+	wait := time.Since(j.created)
 	if !j.begin(s.nextStartSeq()) {
 		return // cancelled between pop and begin
 	}
+	s.waitSumNS.Add(int64(wait))
+	s.waitCount.Add(1)
+	s.log.Info("job started",
+		"job", j.id, "tenant", j.tenant, "shard", 0, "queue_wait", wait.String())
+	execStart := time.Now()
 	unlock := s.lockKey(j.key)
 	defer unlock()
 
 	if j.ctx.Err() != nil {
 		j.finishCancelled()
+		s.log.Info("job cancelled", "job", j.id, "tenant", j.tenant)
 		return
 	}
 	// Re-check under the key lock: an identical job that just finished
 	// ahead of us already paid for the result.
 	if sf, ok := s.cache.lookup(j.spec); ok {
+		s.cacheHits.Add(1)
 		j.finishCompleted(sf.Result, true)
+		s.log.Info("job served from cache", "job", j.id, "tenant", j.tenant)
 		return
 	}
 	path, err := s.cache.prepare(j.spec)
 	if err != nil {
 		j.finishFailed(ClassInternal, err)
+		s.log.Error("job failed", "job", j.id, "tenant", j.tenant, "err", err)
 		return
 	}
 	res, _, err := dist.ExecuteShardPool(j.ctx, j.spec, 0, s.cfg.WorkersPerJob, path, s.pool)
 	switch {
 	case err == nil:
 		j.finishCompleted(res, false)
+		s.log.Info("job completed",
+			"job", j.id, "tenant", j.tenant, "shard", 0,
+			"runs", j.spec.Runs, "elapsed", time.Since(execStart).String())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The artefact stays behind as a resumable same-campaign
 		// remnant; a future identical request resumes or reruns it.
 		j.finishCancelled()
+		s.log.Info("job cancelled mid-campaign",
+			"job", j.id, "tenant", j.tenant, "elapsed", time.Since(execStart).String())
 	case errors.Is(err, dist.ErrCampaignMismatch):
 		j.finishFailed(ClassMismatch, err)
+		s.log.Error("job failed", "job", j.id, "tenant", j.tenant, "class", ClassMismatch, "err", err)
 	default:
 		j.finishFailed(ClassInternal, err)
+		s.log.Error("job failed", "job", j.id, "tenant", j.tenant, "class", ClassInternal, "err", err)
 	}
 }
 

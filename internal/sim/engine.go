@@ -63,6 +63,12 @@ type Engine struct {
 	halted   bool
 	haltMsg  string
 
+	// executed counts events delivered (canceled pops excluded) since
+	// the last Reset. Pure telemetry for the flight recorder's
+	// sim-event throughput metric: it never feeds the trace, the RNG or
+	// any digest, so it cannot perturb determinism.
+	executed uint64
+
 	// wedgeLimit bounds how many events may execute at a single virtual
 	// instant before Run declares the machine wedged. 0 disables the
 	// watchdog. The limit is configuration, not run state: Reset keeps it.
@@ -97,6 +103,7 @@ func (e *Engine) SetWedgeLimit(n int) { e.wedgeLimit = n }
 func (e *Engine) Reset(seed uint64) {
 	e.now, e.seq = 0, 0
 	e.halted, e.haltMsg = false, ""
+	e.executed = 0
 	e.heap = e.heap[:0]
 	e.freeList = e.freeList[:0]
 	for i := range e.slots {
@@ -268,6 +275,7 @@ func (e *Engine) Run(horizon Time) error {
 		}
 		e.now = when
 		fn()
+		e.executed++
 		if e.now != lastNow {
 			lastNow = e.now
 			sameInstant = 0
@@ -297,10 +305,15 @@ func (e *Engine) Step() bool {
 		}
 		e.now = when
 		fn()
+		e.executed++
 		return true
 	}
 	return false
 }
+
+// Executed returns the number of events delivered since the last Reset.
+// Diagnostic only — the flight recorder's sim-event throughput source.
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently queued, including
 // canceled-but-unpopped ones. Diagnostic only.

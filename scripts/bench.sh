@@ -24,6 +24,11 @@
 #                                    # artefact store vs fresh execution
 #                                    # (BenchmarkServerCachedRequest,
 #                                    # speedup_x is the ≥100x bar)
+#   scripts/bench.sh obs             # flight-recorder overhead: identical
+#                                    # campaign with metric recording on vs
+#                                    # off (BenchmarkObsOverhead) next to the
+#                                    # BenchmarkCampaignThroughput anchor —
+#                                    # the two rows must stay within 3%
 #   scripts/bench.sh soak            # not a benchmark: a quick soak gate —
 #                                    # short FuzzFaultInjection sweep plus a
 #                                    # -race -short pass over the fault-model
@@ -66,6 +71,8 @@ elif [ "$PATTERN" = "inspect" ]; then
     PATTERN='DossierRandomAccess'
 elif [ "$PATTERN" = "serve" ]; then
     PATTERN='ServerCachedRequest'
+elif [ "$PATTERN" = "obs" ]; then
+    PATTERN='ObsOverhead|CampaignThroughput'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -88,8 +95,10 @@ fi
 # differential-determinism plan × mode matrix while trimming the
 # full-duration golden campaigns. internal/serve adds the campaign
 # server (fair queue, job lifecycle, cache lookups racing executors,
-# event-stream tailers).
-go test -race -short ./internal/fanout ./internal/dist ./internal/core ./internal/serve
+# event-stream tailers). internal/obs is the flight recorder: sharded
+# counters, CAS-folded histogram sums and vec child creation are all
+# written to be invoked from every worker goroutine at once.
+go test -race -short ./internal/fanout ./internal/dist ./internal/core ./internal/serve ./internal/obs
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
 RAW="$(mktemp)"
