@@ -308,6 +308,49 @@ func BenchmarkWarmMachineCampaign(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotRestore isolates the per-run machine recycling cost
+// the pool pays: restoring the post-boot image over a machine that just
+// ran ("after-run", the steady state of a warm campaign), the floor cost
+// of restoring an undirtied machine ("clean"), and the boot-replaying
+// deep reset the snapshot path replaced ("deep-reset") for the ratio.
+// The dirty-run virtual second is excluded from the timer.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	opts := core.DefaultMachineOptions(1)
+	m, err := core.BuildMachine(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.CaptureSnapshot(opts)
+
+	b.Run("clean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := m.Restore(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("after-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m.Run(1 * sim.Second)
+			b.StartTimer()
+			if err := m.Restore(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deep-reset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			m.Run(1 * sim.Second)
+			b.StartTimer()
+			if err := m.DeepReset(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkShardedCampaign measures the distributed campaign path: the
 // run-index space split into K shards, each executed through
 // dist.ExecuteShard with streaming JSONL evidence, then folded back

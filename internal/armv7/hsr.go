@@ -39,12 +39,28 @@ var ecNames = map[EC]string{
 // String returns the mnemonic plus the numeric code, matching the style of
 // hypervisor panic dumps ("dabt-low(0x24)").
 func (e EC) String() string {
+	if e < EC(len(ecStrings)) {
+		return ecStrings[e]
+	}
+	return ecString(e)
+}
+
+func ecString(e EC) string {
 	name, ok := ecNames[e]
 	if !ok {
 		name = "invalid"
 	}
 	return fmt.Sprintf("%s(%#02x)", name, uint32(e))
 }
+
+// ecStrings pre-renders every 6-bit class: the trap path stringifies the
+// EC on each trapped access, so String must not format.
+var ecStrings = func() (s [64]string) {
+	for i := range s {
+		s[i] = ecString(EC(i))
+	}
+	return s
+}()
 
 // Known reports whether the EC value is architecturally defined in this
 // model. Bit-flips in HSR routinely produce unknown classes; the

@@ -196,6 +196,59 @@ func (c *CPU) Reset() {
 	c.Parked = false
 }
 
+// Snapshot is a deep copy of one core's full architectural state —
+// everything VisitState enumerates.
+type Snapshot struct {
+	regs      [NumRegs]uint32
+	cpsr      uint32
+	banks     map[Mode]bank
+	fiqBank   [5]uint32
+	fiqShadow [5]uint32
+	inFIQRegs bool
+
+	elrHyp, spsrHyp, hsr, hvbar, hcr uint32
+	vttbr                            uint64
+	hdfar, hifar, hpfar              uint32
+
+	midr, mpidr, sctlr, vbar uint32
+	online, parked           bool
+}
+
+// CaptureSnapshot deep-copies the core's architectural state.
+func (c *CPU) CaptureSnapshot() *Snapshot {
+	s := &Snapshot{
+		regs: c.regs, cpsr: c.cpsr,
+		banks:     make(map[Mode]bank, len(c.banks)),
+		fiqBank:   c.fiqBank,
+		fiqShadow: c.fiqShadow,
+		inFIQRegs: c.inFIQRegs,
+		elrHyp:    c.ELRHyp, spsrHyp: c.SPSRHyp, hsr: c.HSR,
+		hvbar: c.HVBAR, hcr: c.HCR, vttbr: c.VTTBR,
+		hdfar: c.HDFAR, hifar: c.HIFAR, hpfar: c.HPFAR,
+		midr: c.MIDR, mpidr: c.MPIDR, sctlr: c.SCTLR, vbar: c.VBAR,
+		online: c.Online, parked: c.Parked,
+	}
+	for m, b := range c.banks {
+		s.banks[m] = *b
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the core to a captured state in place (the
+// bank map's entries are written through, not replaced).
+func (c *CPU) RestoreSnapshot(s *Snapshot) {
+	c.regs, c.cpsr = s.regs, s.cpsr
+	for m, b := range c.banks {
+		*b = s.banks[m]
+	}
+	c.fiqBank, c.fiqShadow, c.inFIQRegs = s.fiqBank, s.fiqShadow, s.inFIQRegs
+	c.ELRHyp, c.SPSRHyp, c.HSR = s.elrHyp, s.spsrHyp, s.hsr
+	c.HVBAR, c.HCR, c.VTTBR = s.hvbar, s.hcr, s.vttbr
+	c.HDFAR, c.HIFAR, c.HPFAR = s.hdfar, s.hifar, s.hpfar
+	c.MIDR, c.MPIDR, c.SCTLR, c.VBAR = s.midr, s.mpidr, s.sctlr, s.vbar
+	c.Online, c.Parked = s.online, s.parked
+}
+
 // VisitState feeds every architectural state word of the core to f in a
 // fixed order: current-mode GPRs, CPSR, all banked SP/LR/SPSR copies,
 // the FIQ high-register banks, the HYP virtualization registers, the

@@ -204,6 +204,64 @@ func (b *Board) DeepReset(seed uint64, opts Options) {
 	}
 }
 
+// Snapshot is a deep copy of the whole board at one instant: scheduler
+// (events, clock, trace), RAM image, interrupt controller, both UARTs,
+// the GPIO bank, every core and the timer bookkeeping. The timer cancel
+// closures are Event handles into the engine slab; the engine snapshot
+// restores slot generations exactly, so the captured closures remain
+// valid after a restore.
+type Snapshot struct {
+	engine *sim.EngineSnapshot
+	ram    *memmap.RAMSnapshot
+	gic    *gic.Snapshot
+	uart0  *uart.Snapshot
+	uart7  *uart.Snapshot
+	gpio   *gpio.Snapshot
+	cpus   []*armv7.Snapshot
+	timers []Timer
+}
+
+// RAMPages returns how many RAM pages the snapshot image holds.
+func (s *Snapshot) RAMPages() int { return s.ram.Pages() }
+
+// CaptureSnapshot deep-copies the board state and switches the RAM into
+// dirty-page tracking so later restores copy back only touched pages.
+func (b *Board) CaptureSnapshot() *Snapshot {
+	s := &Snapshot{
+		engine: b.Engine.CaptureSnapshot(),
+		ram:    b.RAM.CaptureSnapshot(),
+		gic:    b.GIC.CaptureSnapshot(),
+		uart0:  b.UART0.CaptureSnapshot(),
+		uart7:  b.UART7.CaptureSnapshot(),
+		gpio:   b.GPIO.CaptureSnapshot(),
+		timers: append([]Timer(nil), b.timers...),
+	}
+	for _, c := range b.CPUs {
+		s.cpus = append(s.cpus, c.CaptureSnapshot())
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the board to a captured state with a fresh RNG
+// seed, reusing every live buffer. Returns how many RAM pages the
+// preceding run dirtied and how many the restore copied back — the
+// flight recorder's dirty-page metrics. The observable result must be
+// indistinguishable from a cold build followed by the same boot (the
+// differential determinism suite in internal/core holds it to that).
+func (b *Board) RestoreSnapshot(s *Snapshot, seed uint64) (dirtied, restored int) {
+	b.Engine.RestoreSnapshot(s.engine, seed)
+	dirtied, restored = b.RAM.RestoreSnapshot(s.ram)
+	b.GIC.RestoreSnapshot(s.gic)
+	b.UART0.RestoreSnapshot(s.uart0)
+	b.UART7.RestoreSnapshot(s.uart7)
+	b.GPIO.RestoreSnapshot(s.gpio)
+	for i, c := range b.CPUs {
+		c.RestoreSnapshot(s.cpus[i])
+	}
+	b.timers = append(b.timers[:0], s.timers...)
+	return dirtied, restored
+}
+
 func (b *Board) addMMIO(name string, base, size uint64,
 	read func(int, uint64) (uint32, error),
 	write func(int, uint64, uint32) error) {

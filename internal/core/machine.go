@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"github.com/dessertlab/certify/internal/board"
 	"github.com/dessertlab/certify/internal/guest/freertos"
@@ -41,6 +43,55 @@ type Machine struct {
 	// simulation itself, surfaced as a truthful sim-fault outcome instead
 	// of killing the campaign worker.
 	simFault string
+
+	// snapshots holds one post-boot image per MachineOptions profile
+	// (options minus seed and scratch). Restore rewinds the machine from
+	// the image instead of replaying the boot path — the snapshot-fork
+	// mechanism MachinePool and the warm scratch path ride on. Snapshots
+	// reference this machine's own objects (cells, kernels, scheduled
+	// closures) and must never be shared across machines.
+	snapshots map[profileKey]*machineSnapshot
+}
+
+// profileKey identifies a boot profile: every MachineOptions field that
+// shapes the post-boot state. Seed is excluded — boot draws nothing from
+// the RNG, so one image serves every seed (restore reseeds) — and so is
+// Scratch, which only selects buffer recycling.
+type profileKey struct {
+	skipCellStart   bool
+	recreateLoop    bool
+	recreatePeriod  sim.Time
+	delayedCreate   bool
+	delayedCreateAt sim.Time
+	stateWatchdog   bool
+	leanCapture     bool
+	traceRecords    int
+	traceArgs       int
+}
+
+func profileOf(opts MachineOptions) profileKey {
+	return profileKey{
+		skipCellStart:   opts.SkipCellStart,
+		recreateLoop:    opts.RecreateLoop,
+		recreatePeriod:  opts.RecreatePeriod,
+		delayedCreate:   opts.DelayedCreate,
+		delayedCreateAt: opts.DelayedCreateAt,
+		stateWatchdog:   opts.StateWatchdog,
+		leanCapture:     opts.LeanCapture,
+		traceRecords:    opts.TraceRecords,
+		traceArgs:       opts.TraceArgs,
+	}
+}
+
+// machineSnapshot composes the per-layer images of one post-boot state.
+type machineSnapshot struct {
+	board    *board.Snapshot
+	hv       *jailhouse.Snapshot
+	linux    *rootlinux.Snapshot
+	rtos     *freertos.Kernel // the kernel bound at capture (nil if none yet)
+	rtosSnap freertos.KernelSnapshot
+	rtosNext int
+	cellID   uint32
 }
 
 // MachineOptions tunes the assembly.
@@ -231,6 +282,77 @@ func (m *Machine) boot(opts MachineOptions) error {
 	if opts.StateWatchdog {
 		m.Linux.StartStateWatchdog(m.CellID)
 	}
+	return nil
+}
+
+// Tainted reports whether the machine may carry corrupted layer state: a
+// recovered Go panic (sim-fault) left the simulation mid-mutation, and a
+// machine wedge left an event storm mid-flight. Such machines must not
+// be parked in a pool or warm-reused; callers rebuild cold instead.
+func (m *Machine) Tainted() bool {
+	if m.simFault != "" {
+		return true
+	}
+	halted, msg := m.Board.Engine.Halted()
+	return halted && strings.HasPrefix(msg, "machine wedge")
+}
+
+// CaptureSnapshot stores the machine's current state as the post-boot
+// image for the given options' profile. Must be called on a freshly
+// booted machine, before its first Run — the FreeRTOS capture relies on
+// no task slice having executed yet.
+func (m *Machine) CaptureSnapshot(opts MachineOptions) {
+	if m.snapshots == nil {
+		m.snapshots = make(map[profileKey]*machineSnapshot)
+	}
+	s := &machineSnapshot{
+		board:    m.Board.CaptureSnapshot(),
+		hv:       m.HV.CaptureSnapshot(),
+		linux:    m.Linux.CaptureSnapshot(),
+		rtos:     m.RTOS,
+		rtosNext: m.rtosNext,
+		cellID:   m.CellID,
+	}
+	if m.RTOS != nil {
+		s.rtosSnap = m.RTOS.CaptureSnapshot()
+	}
+	m.snapshots[profileOf(opts)] = s
+}
+
+// Restore brings the machine back to the post-boot state for opts: from
+// the profile's snapshot when one exists (copying back only dirtied RAM
+// pages and the captured control blocks — no boot replay), falling back
+// to a full DeepReset otherwise. The first reset of a new profile
+// captures its image, so every later Restore of that profile is cheap.
+// A tainted machine (sim-fault, machine wedge) always deep-resets and
+// never captures — its state is not trusted as a snapshot source. The
+// observable result must be indistinguishable from BuildMachine with the
+// same options; warmpool_test.go's differential suites hold it to that.
+func (m *Machine) Restore(opts MachineOptions) error {
+	s := m.snapshots[profileOf(opts)]
+	if s == nil || m.Tainted() {
+		if err := m.DeepReset(opts); err != nil {
+			return err
+		}
+		if s == nil {
+			m.CaptureSnapshot(opts)
+		}
+		return nil
+	}
+	start := time.Now()
+	dirtied, restored := m.Board.RestoreSnapshot(s.board, opts.Seed)
+	m.HV.RestoreSnapshot(s.hv)
+	m.Linux.RestoreSnapshot(s.linux)
+	m.RTOS = s.rtos
+	if s.rtos != nil {
+		s.rtos.RestoreSnapshot(s.rtosSnap)
+	}
+	m.rtosNext = s.rtosNext
+	m.CellID = s.cellID
+	m.simFault = ""
+	metSnapshotRestore.ObserveSince(start)
+	metPagesDirtied.Add(uint64(dirtied))
+	metPagesRestored.Add(uint64(restored))
 	return nil
 }
 

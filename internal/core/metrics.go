@@ -49,4 +49,18 @@ var (
 	metScratchColdBuilds = obs.Default.NewCounter(
 		"certify_core_scratch_cold_builds_total",
 		"Runs that built a machine cold (first scratch use or no reuse).")
+
+	metSnapshotRestore = obs.Default.NewHistogram(
+		"certify_core_snapshot_restore_seconds",
+		"Machine.Restore latency when answered from a post-boot snapshot.",
+		obs.LatencyBuckets)
+	metPagesDirtied = obs.Default.NewCounter(
+		"certify_core_snapshot_pages_dirtied_total",
+		"RAM pages the preceding run touched, summed over snapshot restores.")
+	metPagesRestored = obs.Default.NewCounter(
+		"certify_core_snapshot_pages_restored_total",
+		"RAM pages copied back from post-boot snapshot images.")
+	metPoolDrops = obs.Default.NewCounter(
+		"certify_pool_tainted_drops_total",
+		"Machines dropped at MachinePool.Put because the run ended in a sim-fault or machine wedge.")
 )

@@ -6,12 +6,13 @@ import (
 )
 
 // MachinePool recycles fully built machines across experiment runs: Get
-// hands out a warm machine restored to power-on state via
-// Machine.DeepReset (building cold only when the pool is empty), Put
-// returns it for the next run. Because per-run machine construction is
-// the campaign pipeline's dominant cost once the event slab and trace
-// are pooled (see DESIGN.md), a shared pool converts most BuildMachine
-// time into a reset plus the unavoidable boot replay.
+// hands out a warm machine rewound to its post-boot state via
+// Machine.Restore — a snapshot restore that copies back only dirtied RAM
+// pages and captured control blocks, never replaying the boot path —
+// building cold only when the pool is empty. Because boot replay is the
+// dominant reset cost once the event slab and trace are pooled (see
+// DESIGN.md "Snapshot-fork machines"), the snapshot restore is what
+// lifts campaign throughput past the deep-reset warm pool.
 //
 // The pool is safe for concurrent use; the machines it hands out are
 // not — exactly one goroutine owns a machine between Get and Put. A
@@ -36,9 +37,11 @@ type MachinePool struct {
 // components.
 func NewMachinePool() *MachinePool { return &MachinePool{} }
 
-// Get returns a machine booted for opts: a deep-reset pooled machine
-// when one is idle, a cold build otherwise. opts.Scratch is ignored for
-// pooled machines (they recycle their own buffers).
+// Get returns a machine booted for opts: a pooled machine rewound via
+// Machine.Restore when one is idle, a cold build otherwise. A cold
+// build captures its post-boot snapshot before first use, so the
+// machine's later Gets restore instead of resetting. opts.Scratch is
+// ignored for pooled machines (they recycle their own buffers).
 func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
 	start := time.Now()
 	defer metPoolGet.ObserveSince(start)
@@ -57,10 +60,15 @@ func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
 	if m == nil {
 		opts.Scratch = nil // pool machines own their buffers
 		metPoolColdBuilds.Inc()
-		return BuildMachine(opts)
+		m, err := BuildMachine(opts)
+		if err != nil {
+			return nil, err
+		}
+		m.CaptureSnapshot(opts)
+		return m, nil
 	}
 	resetStart := time.Now()
-	if err := m.DeepReset(opts); err != nil {
+	if err := m.Restore(opts); err != nil {
 		// The machine is mid-boot garbage now; drop it rather than pool
 		// it, and report the failure instead of masking a possible leak
 		// with a silent rebuild.
@@ -71,10 +79,18 @@ func (p *MachinePool) Get(opts MachineOptions) (*Machine, error) {
 	return m, nil
 }
 
-// Put returns a machine to the pool. The machine may be in any state —
-// the next Get deep-resets it. Put(nil) is a no-op.
+// Put returns a machine to the pool for the next Get to rewind — unless
+// the run left it tainted (sim-fault or machine wedge): a recovered
+// panic or a wedged event storm may have corrupted layer state in ways
+// no in-place rewind is trusted to undo, so such machines are dropped
+// (counted on /metrics) and the pool rebuilds cold later. Put(nil) is a
+// no-op.
 func (p *MachinePool) Put(m *Machine) {
 	if m == nil {
+		return
+	}
+	if m.Tainted() {
+		metPoolDrops.Inc()
 		return
 	}
 	start := time.Now()

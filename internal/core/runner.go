@@ -179,20 +179,25 @@ func acquireMachine(ro RunOptions, opts MachineOptions) (*Machine, func(), error
 			return nil, nil, fmt.Errorf("pool machine: %w", err)
 		}
 		return m, func() { ro.Pool.Put(m) }, nil
-	case ro.Scratch != nil && ro.Scratch.machine != nil:
+	case ro.Scratch != nil && ro.Scratch.machine != nil && !ro.Scratch.machine.Tainted():
 		start := time.Now()
-		if err := ro.Scratch.machine.DeepReset(opts); err != nil {
-			return nil, nil, fmt.Errorf("deep reset machine: %w", err)
+		if err := ro.Scratch.machine.Restore(opts); err != nil {
+			return nil, nil, fmt.Errorf("restore machine: %w", err)
 		}
 		metDeepReset.ObserveSince(start)
 		metScratchReuses.Inc()
 		return ro.Scratch.machine, noRelease, nil
 	case ro.Scratch != nil:
+		// First use — or the previous run left the scratch machine tainted
+		// (sim-fault, machine wedge); drop it and rebuild cold, exactly as
+		// the pool does.
+		ro.Scratch.machine = nil
 		opts.Scratch = ro.Scratch
 		m, err := BuildMachine(opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("build machine: %w", err)
 		}
+		m.CaptureSnapshot(opts)
 		ro.Scratch.machine = m // warm from now on
 		metScratchColdBuilds.Inc()
 		return m, noRelease, nil

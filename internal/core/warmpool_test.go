@@ -144,6 +144,65 @@ func TestWarmPoolDifferentialDeterminism(t *testing.T) {
 	}
 }
 
+// TestSnapshotDifferentialFaultModels sweeps the snapshot-restore pool
+// across every registered fault model: each model rewrites different
+// state (GIC bitmaps, RAM words, register frames, IRQ storms), so each
+// is an independent chance for a restore to miss a dirtied layer. For
+// every model × plan family × master seed × retention mode, a pooled
+// campaign must reproduce the cold fresh-build fingerprints exactly.
+func TestSnapshotDifferentialFaultModels(t *testing.T) {
+	runs := 4
+	masters := []uint64{2022, 7, 0xfeedface}
+	plans := shortPlans()
+	if testing.Short() {
+		// The race gate runs this too: keep every fault model but trim
+		// the seed and plan axes.
+		runs = 2
+		masters = masters[:1]
+		plans = plans[2:] // E3, the paper's main campaign family
+	}
+	for _, model := range FaultModelNames() {
+		for _, base := range plans {
+			plan := *base
+			plan.FaultName = model
+			plan.Name = base.Name + "-" + model
+			for _, master := range masters {
+				for _, mode := range []CampaignMode{ModeFull, ModeDistribution} {
+					name := fmt.Sprintf("%s/%s/seed-%d/%s", model, base.Name, master, mode)
+					t.Run(name, func(t *testing.T) {
+						seeds := campaignSeeds(master, runs)
+						cold := coldReference(t, &plan, seeds, mode)
+						pool := NewMachinePool()
+						var mu sync.Mutex
+						warm := make([]runFingerprint, runs)
+						c := &Campaign{
+							Plan: &plan, Runs: runs, MasterSeed: master,
+							Mode: mode, Pool: pool,
+							OnRun: func(index int, r *RunResult) {
+								mu.Lock()
+								warm[index] = fingerprint(r)
+								mu.Unlock()
+							},
+						}
+						if _, err := c.Execute(context.Background()); err != nil {
+							t.Fatalf("pooled campaign: %v", err)
+						}
+						for i := range cold {
+							if warm[i] != cold[i] {
+								t.Fatalf("model %s diverged from cold build on run %d (seed %#x):\nwarm: %+v\ncold: %+v",
+									model, i, seeds[i], warm[i], cold[i])
+							}
+						}
+						if _, reuses := pool.Stats(); reuses == 0 && runs > 1 {
+							t.Fatal("pool never restored a machine — the snapshot path was not exercised")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
 // TestWarmPoolGoldenSerial pins the seed-2022 40-run E3 campaign — the
 // repo's golden split — under the shared warm pool: 23 correct, 1
 // inconsistent, 16 panic-park, 56 injections, exactly the cold numbers.
@@ -268,6 +327,107 @@ func TestStateLeakFuzzDeepResetMatchesFresh(t *testing.T) {
 		if w, f := scratch.machine.StateDigest(), fresh.StateDigest(); w != f {
 			t.Fatalf("iter %d: divergence after running the reset machine: %#x != %#x", iter, w, f)
 		}
+	}
+}
+
+// TestStateLeakFuzzSnapshotRestoreMatchesFresh is the snapshot twin of
+// the deep-reset leak fuzz: dirty a machine with a random plan and seed,
+// restore it from its post-boot image (twice — the second restore is
+// guaranteed to take the snapshot path, since the first may have had to
+// capture a new profile), and demand the full state digest equals a
+// freshly built machine's, before and after both run the same horizon.
+func TestStateLeakFuzzSnapshotRestoreMatchesFresh(t *testing.T) {
+	plans := shortPlans()
+	rng := rand.New(rand.NewSource(0xBADC0DE))
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	for iter := 0; iter < iters; iter++ {
+		plan := plans[rng.Intn(len(plans))]
+		dirtySeed := rng.Uint64()
+		scratch := NewRunScratch()
+		if _, err := RunExperimentOpts(plan, dirtySeed, RunOptions{Scratch: scratch}); err != nil {
+			t.Fatalf("iter %d: dirty run (%s, seed %#x): %v", iter, plan.Name, dirtySeed, err)
+		}
+		m := scratch.machine
+		if m == nil {
+			t.Fatal("scratch did not retain the warm machine")
+		}
+
+		freshSeed := rng.Uint64()
+		opts := DefaultMachineOptions(freshSeed)
+		if rng.Intn(2) == 1 {
+			opts.LeanCapture = true
+		}
+		if err := m.Restore(opts); err != nil {
+			t.Fatalf("iter %d: first restore: %v", iter, err)
+		}
+		// Dirty the restored machine again, then restore once more: this
+		// one replays the captured post-boot image, the path under test.
+		m.Run(2 * sim.Second)
+		if err := m.Restore(opts); err != nil {
+			t.Fatalf("iter %d: snapshot restore: %v", iter, err)
+		}
+
+		fresh, err := BuildMachine(opts)
+		if err != nil {
+			t.Fatalf("iter %d: fresh build: %v", iter, err)
+		}
+		if w, f := m.StateDigest(), fresh.StateDigest(); w != f {
+			t.Fatalf("iter %d: state leak after %s (dirty seed %#x): restored digest %#x != fresh digest %#x (opts %+v)",
+				iter, plan.Name, dirtySeed, w, f, opts)
+		}
+		m.Run(3 * sim.Second)
+		fresh.Run(3 * sim.Second)
+		if w, f := m.StateDigest(), fresh.StateDigest(); w != f {
+			t.Fatalf("iter %d: divergence after running the restored machine: %#x != %#x", iter, w, f)
+		}
+	}
+}
+
+// TestPoolDropsWedgedMachine is the regression for the pool accepting
+// unusable machines: a machine whose engine tripped the bounded-progress
+// watchdog (or recorded a simulator fault) is tainted — Put must drop it
+// on the floor and count the drop, and the next Get must serve a cold
+// build indistinguishable from a fresh machine.
+func TestPoolDropsWedgedMachine(t *testing.T) {
+	pool := NewMachinePool()
+	opts := DefaultMachineOptions(5)
+	m, err := pool.Get(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge the machine: a zero-delay self-rescheduling event executes
+	// forever at one virtual instant until the watchdog halts the run.
+	var spin func()
+	spin = func() { m.Board.Engine.After(0, spin) }
+	m.Board.Engine.After(0, spin)
+	m.Run(1 * sim.Second)
+	if !m.Tainted() {
+		t.Fatal("wedged machine does not report tainted")
+	}
+
+	drops := metPoolDrops.Value()
+	pool.Put(m)
+	if got := metPoolDrops.Value(); got != drops+1 {
+		t.Fatalf("tainted drop counter = %d, want %d", got, drops+1)
+	}
+
+	m2, err := pool.Get(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == m {
+		t.Fatal("pool handed the wedged machine back out")
+	}
+	fresh, err := BuildMachine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.StateDigest() != fresh.StateDigest() {
+		t.Fatalf("post-wedge rebuild digest %#x != cold build %#x", m2.StateDigest(), fresh.StateDigest())
 	}
 }
 

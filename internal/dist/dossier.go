@@ -160,6 +160,16 @@ func (d *Dossier) Entry(k int) (IndexEntry, bool) {
 // retries there instead of misattributing a record.
 func (d *Dossier) RawRun(k int) ([]byte, error) {
 	e, ok := d.Entry(k)
+	if !ok && !d.indexed {
+		// A degraded dossier may be reading a shard that is still being
+		// written (the serve live-tail path): records appended after the
+		// sequential scan cached its entries are invisible until the
+		// cache is invalidated. A size change is the growth signal.
+		if err := d.refreshScan(); err != nil {
+			return nil, fmt.Errorf("dist: %s: rescan after growth: %w", d.path, err)
+		}
+		e, ok = d.Entry(k)
+	}
 	if !ok {
 		return nil, fmt.Errorf("dist: %s holds no record for run %d", d.path, k)
 	}
@@ -440,6 +450,24 @@ func (d *Dossier) adoptIndex(ix *shardIndex) error {
 	d.summary = ix.summary
 	d.indexed = true
 	return nil
+}
+
+// refreshScan re-checks a degraded dossier against its file: if the
+// artefact grew since the sequential scan cached its entries (a shard
+// still streaming), the stale cache is dropped and the scan runs again
+// over the longer file. A stable size keeps the cache — the common case
+// for archived artefacts, where the stat is the only cost.
+func (d *Dossier) refreshScan() error {
+	st, err := d.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == d.size {
+		return nil
+	}
+	d.size = st.Size()
+	metDossierFallbackScans.Inc()
+	return d.degrade()
 }
 
 // degrade abandons the indexed path and rebuilds the entry table from

@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestDossierLiveTailRescansGrownArtefact pins the fallback-scan cache
+// invalidation: a dossier opened on a shard that is still streaming (no
+// index footer yet — the serve live-tail path) degrades to the
+// sequential scan, and records appended after that scan must become
+// visible on the next lookup instead of the cache answering "no record"
+// forever. Both artefact flavours are exercised; the gzip writer ends a
+// member per flush, so the grown file stays decodable mid-stream.
+func TestDossierLiveTailRescansGrownArtefact(t *testing.T) {
+	for _, name := range []string{"live.jsonl", "live.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			spec := synthSpec(64, 1)
+			sh, err := spec.Shard(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := CreateJSONL(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			w.SetFlushInterval(0) // every record hits the file synchronously
+			if err := w.WriteManifest(sh.Manifest()); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 8; k++ {
+				w.OnRun(k, synthResult(k))
+			}
+
+			d, err := OpenDossier(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if d.Indexed() {
+				t.Fatal("open mid-stream must fall back to the sequential scan")
+			}
+			if got := d.NumRuns(); got != 8 {
+				t.Fatalf("initial scan sees %d runs, want 8", got)
+			}
+
+			// The shard keeps streaming after the scan cached its entries.
+			for k := 8; k < 20; k++ {
+				w.OnRun(k, synthResult(k))
+			}
+			for _, k := range []int{8, 13, 19} {
+				rec, err := d.Run(k)
+				if err != nil {
+					t.Fatalf("run %d appended after the scan: %v", k, err)
+				}
+				if rec.Index != k {
+					t.Fatalf("run %d decoded as index %d", k, rec.Index)
+				}
+				want := fmt.Sprintf("%#x", synthResult(k).Seed)
+				if rec.Seed != want {
+					t.Fatalf("run %d seed = %s, want %s", k, rec.Seed, want)
+				}
+			}
+			if got := d.NumRuns(); got != 20 {
+				t.Fatalf("after rescan NumRuns = %d, want 20", got)
+			}
+
+			// A truly absent index still misses — and must not loop
+			// rescanning when the size is unchanged.
+			if _, err := d.Run(63); err == nil {
+				t.Fatal("run 63 was never written, lookup must fail")
+			}
+			reads := d.Reads()
+			if _, err := d.Run(63); err == nil {
+				t.Fatal("run 63 still absent")
+			}
+			if d.gz && d.Reads() != reads {
+				t.Fatalf("stable-size miss re-read the file (%d → %d reads): cache not honoured", reads, d.Reads())
+			}
+		})
+	}
+}

@@ -201,7 +201,8 @@ type JSONLWriter struct {
 
 	flushEvery time.Duration // 0 = flush every record synchronously
 	pending    int           // run records since the last flush
-	timerArmed bool          // a time.AfterFunc flush is scheduled
+	timer      *time.Timer   // deadline-flush timer, reused across batches
+	timerArmed bool          // the timer is scheduled to fire
 	closed     bool
 }
 
@@ -346,7 +347,11 @@ func (jw *JSONLWriter) noteRecordLocked() {
 	}
 	if !jw.timerArmed {
 		jw.timerArmed = true
-		time.AfterFunc(jw.flushEvery, jw.timedFlush)
+		if jw.timer == nil {
+			jw.timer = time.AfterFunc(jw.flushEvery, jw.timedFlush)
+		} else {
+			jw.timer.Reset(jw.flushEvery)
+		}
 	}
 }
 
@@ -475,7 +480,15 @@ func (jw *JSONLWriter) Close() error {
 	if jw.closed && jw.file == nil {
 		return jw.err // second Close: everything already finalised
 	}
-	jw.closed = true // a still-armed deadline timer becomes a no-op
+	jw.closed = true
+	// Stop the deadline timer under the mutex: a flush scheduled just
+	// before Close must not land after the buffers are finalised and the
+	// gzip member ended. Stop can miss a timer that already fired and is
+	// waiting on mu — the closed flag makes that late timedFlush a no-op.
+	if jw.timer != nil {
+		jw.timer.Stop()
+		jw.timerArmed = false
+	}
 	jw.pending = 0
 	if err := jw.w.Flush(); err != nil && jw.err == nil {
 		jw.err = err

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// TestJSONLCloseRacesTimedFlush pins the timed-flush lifecycle: Close
+// stops the deadline timer under the writer mutex, so a flush armed just
+// before Close never lands after the gzip member is finalised and the
+// file closed. The writer is closed while appenders are still running —
+// under -race this caught the timer firing into a finalised writer;
+// appends that lose the race surface as the writer's sticky error, never
+// as a panic or a torn artefact.
+func TestJSONLCloseRacesTimedFlush(t *testing.T) {
+	for _, name := range []string{"shard.jsonl", "shard.jsonl.gz"} {
+		t.Run(name, func(t *testing.T) {
+			for iter := 0; iter < 25; iter++ {
+				path := filepath.Join(t.TempDir(), name)
+				w, err := CreateJSONL(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A tight interval keeps a deadline flush perpetually in
+				// flight, maximising the chance Close overlaps one.
+				w.SetFlushInterval(time.Millisecond)
+				if err := w.WriteManifest(Manifest{Type: recordManifest, Schema: SchemaVersion}); err != nil {
+					t.Fatal(err)
+				}
+
+				rec := &core.RunResult{Seed: 1, DetectionLatency: -1}
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; ; i++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							w.OnRun(g*100000+i, rec)
+						}
+					}(g)
+				}
+
+				// Let at least one timer deadline pass with appends live,
+				// then close mid-stream.
+				time.Sleep(2 * time.Millisecond)
+				if err := w.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+				close(stop)
+				wg.Wait()
+				// Second close after racing appends must be a no-op
+				// returning the (possibly sticky) error, not a panic.
+				_ = w.Close()
+			}
+		})
+	}
+}

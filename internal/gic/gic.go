@@ -116,6 +116,48 @@ func (d *Distributor) Reset() {
 	d.DeliverHook = nil
 }
 
+// Snapshot is a deep copy of the distributor's register file and every
+// CPU interface at one instant. The delivery hook is captured as a func
+// value — the board wires it to the hypervisor the snapshot belongs to.
+type Snapshot struct {
+	ctlr     bool
+	enabled  [MaxIRQ]bool
+	priority [MaxIRQ]uint8
+	targets  [MaxIRQ]uint8
+	cpus     []perCPU
+	hook     func(cpu, irq int)
+}
+
+// CaptureSnapshot deep-copies the distributor state.
+func (d *Distributor) CaptureSnapshot() *Snapshot {
+	s := &Snapshot{
+		ctlr:     d.ctlr,
+		enabled:  d.enabled,
+		priority: d.priority,
+		targets:  d.targets,
+		cpus:     make([]perCPU, len(d.cpus)),
+		hook:     d.DeliverHook,
+	}
+	for i, p := range d.cpus {
+		s.cpus[i] = *p
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the distributor to a captured state. The
+// per-CPU interface objects are written in place (they are plain value
+// state — fixed bitmaps and registers).
+func (d *Distributor) RestoreSnapshot(s *Snapshot) {
+	d.ctlr = s.ctlr
+	d.enabled = s.enabled
+	d.priority = s.priority
+	d.targets = s.targets
+	for i, p := range d.cpus {
+		*p = s.cpus[i]
+	}
+	d.DeliverHook = s.hook
+}
+
 // NumCPUs returns the number of CPU interfaces.
 func (d *Distributor) NumCPUs() int { return d.numCPUs }
 
@@ -305,19 +347,32 @@ func (d *Distributor) Acknowledge(cpu int) (irq int, srcCPU int) {
 	if p == nil {
 		return SpuriousIRQ, 0
 	}
+	if p.pending == (irqSet{}) {
+		// Nothing pending at all — the common second IAR read of every
+		// delivery loop.
+		return SpuriousIRQ, 0
+	}
+	if !d.ctlr || !p.enabled {
+		// Distributor or CPU interface off: no candidate can qualify, the
+		// same answer the per-candidate deliverable scan would reach.
+		return SpuriousIRQ, 0
+	}
 	best, bestPri := SpuriousIRQ, uint16(0x100)
 	for w, word := range p.pending {
 		for word != 0 {
 			id := w*64 + bits.TrailingZeros64(word)
 			word &= word - 1 // clear lowest set bit
-			if !d.deliverable(cpu, id) {
+			// Inline deliverable() with the global gates hoisted above and
+			// p already in hand.
+			pri := d.priority[id]
+			if !d.enabled[id] || pri >= p.priMask || p.active.has(id) {
 				continue
 			}
 			// Strict < keeps the lowest-ID tie-break: bits are visited in
 			// ascending ID order, so the first of an equal-priority pair
 			// wins, exactly as the sorted-slice implementation did.
-			if uint16(d.priority[id]) < bestPri {
-				best, bestPri = id, uint16(d.priority[id])
+			if uint16(pri) < bestPri {
+				best, bestPri = id, uint16(pri)
 			}
 		}
 	}

@@ -41,6 +41,44 @@ func (p *Port) Reset(now func() sim.Time) {
 	}
 }
 
+// Snapshot is a deep copy of the port's line levels and toggle history.
+type Snapshot struct {
+	state   map[int]bool
+	toggles map[int][]Toggle
+}
+
+// CaptureSnapshot deep-copies the port state.
+func (p *Port) CaptureSnapshot() *Snapshot {
+	s := &Snapshot{
+		state:   make(map[int]bool, len(p.state)),
+		toggles: make(map[int][]Toggle, len(p.toggles)),
+	}
+	for pin, on := range p.state {
+		s.state[pin] = on
+	}
+	for pin, ts := range p.toggles {
+		s.toggles[pin] = append([]Toggle(nil), ts...)
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the port to a captured state, reusing the live
+// capture buffers where pins overlap.
+func (p *Port) RestoreSnapshot(s *Snapshot) {
+	clear(p.state)
+	for pin, on := range s.state {
+		p.state[pin] = on
+	}
+	for pin := range p.toggles {
+		if _, ok := s.toggles[pin]; !ok {
+			p.toggles[pin] = p.toggles[pin][:0]
+		}
+	}
+	for pin, ts := range s.toggles {
+		p.toggles[pin] = append(p.toggles[pin][:0], ts...)
+	}
+}
+
 // Set drives pin to level on.
 func (p *Port) Set(pin int, on bool) {
 	if p.state[pin] == on {

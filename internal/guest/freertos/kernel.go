@@ -150,6 +150,38 @@ func (k *Kernel) DeepReset(cpu int) {
 	k.ContextSwitches, k.TicksSeen = 0, 0
 }
 
+// KernelSnapshot captures a kernel at the machine's post-boot capture
+// point: after the workload is installed but before the scheduler has
+// run a single task slice. Task step closures carry per-task mutable
+// locals that cannot be copied, so the snapshot does not try — it
+// records only what distinguishes the capture point (the bound CPU and
+// whether Boot already started the scheduler), and RestoreSnapshot
+// rebuilds the workload from scratch, which is byte-equivalent exactly
+// because nothing had run yet. Capturing a kernel mid-run would not be
+// admissible; core.Machine only captures before its first Run.
+type KernelSnapshot struct {
+	cpu     int
+	started bool
+}
+
+// CaptureSnapshot records the kernel's capture-point state.
+func (k *Kernel) CaptureSnapshot() KernelSnapshot {
+	return KernelSnapshot{cpu: k.cpu, started: k.started}
+}
+
+// RestoreSnapshot rewinds the kernel to the captured post-boot state:
+// deep reset, the paper workload reinstalled with fresh step closures,
+// and — when the capture happened after Boot — the idle task and the
+// started latch re-established, mirroring the tail of Boot itself.
+func (k *Kernel) RestoreSnapshot(s KernelSnapshot) {
+	k.DeepReset(s.cpu)
+	k.InstallPaperWorkload()
+	if s.started {
+		k.idle = k.CreateTask("IDLE", IdlePriority, func(*Kernel, *TCB) bool { return true })
+		k.started = true
+	}
+}
+
 // Name implements jailhouse.Inmate.
 func (k *Kernel) Name() string { return "FreeRTOS" }
 
@@ -354,13 +386,6 @@ func (k *Kernel) onTick() {
 		}
 	}
 
-	// Wake delayed tasks.
-	for _, t := range k.tasks {
-		if t.State == StateDelayed && k.tick >= t.wakeTick {
-			t.State = StateReady
-		}
-	}
-
 	k.reschedule()
 	if k.current != nil && !k.halted {
 		t := k.current
@@ -371,8 +396,13 @@ func (k *Kernel) onTick() {
 	}
 }
 
-// reschedule picks the highest-priority ready task, round-robin within a
-// priority level, and performs the context-switch integrity checks.
+// reschedule wakes due delayed tasks, picks the highest-priority ready
+// task (round-robin within a priority level), and performs the
+// context-switch integrity checks. Waking and selection share one pass
+// over the task list: a task woken by this tick is immediately eligible,
+// exactly as the separate wake loop that used to precede selection made
+// it, and the first task of an equal-priority group still wins because
+// the pass visits tasks in list order.
 func (k *Kernel) reschedule() {
 	// Context-switch stack check (the FreeRTOS
 	// configCHECK_FOR_STACK_OVERFLOW hook).
@@ -382,16 +412,31 @@ func (k *Kernel) reschedule() {
 	}
 
 	var best *TCB
-	for _, t := range k.tasks {
-		if t.State != StateReady && t.State != StateRunning {
+	bestIdx := -1
+	bestPri := 0
+	tick := k.tick
+	for i, t := range k.tasks {
+		st := t.State
+		if st == StateDelayed {
+			if tick < t.wakeTick {
+				continue
+			}
+			t.State = StateReady
+		} else if st != StateReady && st != StateRunning {
 			continue
 		}
-		if best == nil || t.Priority > best.Priority {
-			best = t
+		if best == nil || t.Priority > bestPri {
+			best, bestIdx, bestPri = t, i, t.Priority
 		}
 	}
 	if best == nil {
 		best = k.idle
+		for i, t := range k.tasks {
+			if t == best {
+				bestIdx = i
+				break
+			}
+		}
 	}
 	if k.current != best {
 		k.ContextSwitches++
@@ -402,11 +447,9 @@ func (k *Kernel) reschedule() {
 		best.State = StateRunning
 	}
 	// Round-robin: rotate the chosen task to the back of its class.
-	for i, t := range k.tasks {
-		if t == best && i < len(k.tasks)-1 {
-			k.tasks = append(append(k.tasks[:i], k.tasks[i+1:]...), t)
-			break
-		}
+	if bestIdx >= 0 && bestIdx < len(k.tasks)-1 {
+		copy(k.tasks[bestIdx:], k.tasks[bestIdx+1:])
+		k.tasks[len(k.tasks)-1] = best
 	}
 }
 

@@ -98,6 +98,53 @@ func (l *Linux) DeepReset() {
 	l.LastStartAt = 0
 }
 
+// Snapshot is a deep copy of the root-cell guest's state. The background
+// cancel closures are Event handles into the engine slab; the engine
+// snapshot restores slot generations exactly, so the captured closures
+// stay valid after a restore.
+type Snapshot struct {
+	booted       bool
+	paniced      bool
+	panicWhy     string
+	oopses       int
+	cancelBg     []func()
+	cellID       uint32
+	stateQueries uint64
+	lastState    jailhouse.CellState
+	lastStartAt  sim.Time
+}
+
+// CaptureSnapshot deep-copies the guest state.
+func (l *Linux) CaptureSnapshot() *Snapshot {
+	return &Snapshot{
+		booted:       l.booted,
+		paniced:      l.paniced,
+		panicWhy:     l.panicWhy,
+		oopses:       l.oopses,
+		cancelBg:     append([]func(){}, l.cancelBg...),
+		cellID:       l.CellID,
+		stateQueries: l.StateQueries,
+		lastState:    l.LastState,
+		lastStartAt:  l.LastStartAt,
+	}
+}
+
+// RestoreSnapshot rewinds the guest to a captured state in place.
+func (l *Linux) RestoreSnapshot(s *Snapshot) {
+	l.booted = s.booted
+	l.paniced, l.panicWhy = s.paniced, s.panicWhy
+	l.oopses = s.oopses
+	old := len(l.cancelBg)
+	l.cancelBg = append(l.cancelBg[:0], s.cancelBg...)
+	for i := len(l.cancelBg); i < old; i++ {
+		l.cancelBg[:old][i] = nil // release run-era closures
+	}
+	l.CellID = s.cellID
+	l.StateQueries = s.stateQueries
+	l.LastState = s.lastState
+	l.LastStartAt = s.lastStartAt
+}
+
 // Panicked reports whether the root kernel died, and why.
 func (l *Linux) Panicked() (bool, string) { return l.paniced, l.panicWhy }
 

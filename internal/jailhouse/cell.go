@@ -53,6 +53,15 @@ type Cell struct {
 
 	// CommPending holds the last comm-region message sent to the cell.
 	CommPending uint32
+
+	// virqMsg caches the rendered per-IRQ injection trace line ("vIRQ n →
+	// cell name"), indexed by IRQ. The line is emitted once per delivered
+	// virtual interrupt — the single hottest trace record in a campaign —
+	// and its text depends only on the IRQ number and the cell's fixed
+	// configured name, so rendering it once and appending the cached
+	// string keeps the per-tick path free of format-arg bookkeeping. Pure
+	// cache: not part of any snapshot or digest.
+	virqMsg []string
 }
 
 // Comm-region messages (subset of JAILHOUSE_MSG_*).

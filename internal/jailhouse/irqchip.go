@@ -1,6 +1,8 @@
 package jailhouse
 
 import (
+	"fmt"
+
 	"github.com/dessertlab/certify/internal/armv7"
 	"github.com/dessertlab/certify/internal/gic"
 	"github.com/dessertlab/certify/internal/sim"
@@ -124,6 +126,18 @@ func (h *Hypervisor) injectToCell(cpu int, cell *Cell, irq int) {
 	if p.Parked || !p.OnlineInCell || cell.State != CellRunning {
 		return // parked or offline CPUs execute no guest code
 	}
-	h.trace(sim.KindIRQ, cpu, "vIRQ %d → cell %q", sim.Int(int64(irq)), sim.Str(cell.Name()))
+	if irq >= len(cell.virqMsg) {
+		grown := make([]string, irq+1)
+		copy(grown, cell.virqMsg)
+		cell.virqMsg = grown
+	}
+	msg := cell.virqMsg[irq]
+	if msg == "" {
+		// Rendered exactly as the deferred-format record would have been,
+		// so the trace hash is byte-identical.
+		msg = fmt.Sprintf("vIRQ %d → cell %q", irq, cell.Name())
+		cell.virqMsg[irq] = msg
+	}
+	h.brd.Trace().Add(h.brd.Now(), sim.KindIRQ, cpu, msg)
 	cell.Guest.OnIRQ(cpu, irq)
 }

@@ -1,0 +1,156 @@
+package jailhouse
+
+import (
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/memmap"
+)
+
+// This file implements the hypervisor's part of the machine-snapshot
+// mechanism (see DESIGN.md, "Snapshot-fork machines"): a deep copy of
+// every mutable control block taken once after boot, restored in place
+// between campaign runs so the boot path is never replayed. Cell and
+// guest objects are captured by pointer plus content — the snapshot
+// belongs to one machine, and the closures the boot scheduled reference
+// exactly these objects, so restoring content into the same objects is
+// what keeps those closures valid.
+
+// cellSnapshot is the captured content of one Cell.
+type cellSnapshot struct {
+	cell        *Cell // the live object the content belongs to
+	state       CellState
+	loadable    bool
+	commPending uint32
+	guest       Inmate
+	cpus        []int           // assigned CPUs, ascending
+	stage2      []memmap.Region // deep copy of the address space
+	irqLines    []int           // Config.IRQLines (ivshmem can append)
+}
+
+// linkSnapshot is the captured content of one ivshmem link. The peers'
+// doorbell IRQ assignments live in their cell configs, which the cell
+// snapshots already cover.
+type linkSnapshot struct {
+	link           *IvshmemLink
+	ringsA, ringsB uint64
+}
+
+// Snapshot is a deep copy of the hypervisor's mutable state at one
+// instant: configuration binding, cell list with per-cell content,
+// per-CPU blocks, console, IRQ scratch frames, ivshmem links and the
+// firmware-taint latch.
+type Snapshot struct {
+	sysCfg     *SystemConfig
+	enabled    bool
+	panicked   bool
+	panicMsg   string
+	cells      []cellSnapshot
+	nextCellID uint32
+	percpu     []PerCPU
+	offlined   []int
+	hook       EntryHook
+	console    []string
+	putcAccum  []byte
+	irqCtx     []armv7.TrapContext
+	irqCtxBusy []bool
+	ivshmem    []linkSnapshot
+	fwTainted  bool
+	hypTraps   uint64
+}
+
+// CaptureSnapshot deep-copies the hypervisor state. The board is
+// captured separately (board.Board.CaptureSnapshot); core.Machine
+// composes the two.
+func (h *Hypervisor) CaptureSnapshot() *Snapshot {
+	s := &Snapshot{
+		sysCfg:     h.sysCfg,
+		enabled:    h.enabled,
+		panicked:   h.panicked,
+		panicMsg:   h.panicMsg,
+		nextCellID: h.nextCellID,
+		hook:       h.Hook,
+		console:    append([]string(nil), h.ConsoleLines...),
+		putcAccum:  append([]byte(nil), h.putcAccum...),
+		irqCtx:     append([]armv7.TrapContext(nil), h.irqCtx...),
+		irqCtxBusy: append([]bool(nil), h.irqCtxBusy...),
+		fwTainted:  h.fwTainted,
+		hypTraps:   h.hypTraps,
+	}
+	for _, c := range h.cells {
+		s.cells = append(s.cells, cellSnapshot{
+			cell:        c,
+			state:       c.State,
+			loadable:    c.Loadable,
+			commPending: c.CommPending,
+			guest:       c.Guest,
+			cpus:        c.CPUList(),
+			stage2:      c.Stage2.CaptureSnapshot(),
+			irqLines:    append([]int(nil), c.Config.IRQLines...),
+		})
+	}
+	for _, p := range h.percpu {
+		s.percpu = append(s.percpu, *p)
+	}
+	s.offlined = h.OfflinedCPUs()
+	for _, l := range h.ivshmem {
+		s.ivshmem = append(s.ivshmem, linkSnapshot{link: l, ringsA: l.ringsA, ringsB: l.ringsB})
+	}
+	return s
+}
+
+// RestoreSnapshot rewinds the hypervisor to a captured state in place.
+// Cells the run created after the capture are dropped from the cell
+// list; cells present at capture get their content written back into
+// the same objects, so guest models and scheduled closures holding those
+// pointers keep working.
+func (h *Hypervisor) RestoreSnapshot(s *Snapshot) {
+	h.sysCfg = s.sysCfg
+	h.enabled = s.enabled
+	h.panicked, h.panicMsg = s.panicked, s.panicMsg
+	for i := range h.cells {
+		h.cells[i] = nil
+	}
+	h.cells = h.cells[:0]
+	for i := range s.cells {
+		cs := &s.cells[i]
+		c := cs.cell
+		c.State = cs.state
+		c.Loadable = cs.loadable
+		c.CommPending = cs.commPending
+		c.Guest = cs.guest
+		clear(c.cpus)
+		for _, cpu := range cs.cpus {
+			c.cpus[cpu] = true
+		}
+		c.Stage2.RestoreSnapshot(cs.stage2)
+		c.Config.IRQLines = append(c.Config.IRQLines[:0], cs.irqLines...)
+		h.cells = append(h.cells, c)
+	}
+	h.nextCellID = s.nextCellID
+	for i, p := range h.percpu {
+		*p = s.percpu[i]
+	}
+	clear(h.rootOfflined)
+	for _, cpu := range s.offlined {
+		h.rootOfflined[cpu] = true
+	}
+	h.Hook = s.hook
+	old := len(h.ConsoleLines)
+	h.ConsoleLines = append(h.ConsoleLines[:0], s.console...)
+	for i := len(h.ConsoleLines); i < old; i++ {
+		h.ConsoleLines[:old][i] = "" // release retained strings
+	}
+	h.putcAccum = append(h.putcAccum[:0], s.putcAccum...)
+	copy(h.irqCtx, s.irqCtx)
+	copy(h.irqCtxBusy, s.irqCtxBusy)
+	for i := range h.ivshmem {
+		h.ivshmem[i] = nil
+	}
+	h.ivshmem = h.ivshmem[:0]
+	for i := range s.ivshmem {
+		ls := &s.ivshmem[i]
+		ls.link.ringsA, ls.link.ringsB = ls.ringsA, ls.ringsB
+		h.ivshmem = append(h.ivshmem, ls.link)
+	}
+	h.fwTainted = s.fwTainted
+	h.hypTraps = s.hypTraps
+}

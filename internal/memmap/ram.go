@@ -18,6 +18,14 @@ type RAM struct {
 	base  uint64
 	size  uint64
 	pages map[uint64][]byte // page index → page content
+
+	// Dirty-page tracking, enabled by the first CaptureSnapshot. Every
+	// Write/Zero marks the pages it touches; RestoreSnapshot then copies
+	// back only the dirtied pages instead of rebuilding the whole image.
+	tracking bool
+	dirty    map[uint64]struct{}
+	allDirty bool         // set when a bulk op (Reset) defeats tracking
+	lastSnap *RAMSnapshot // snapshot the dirty set is relative to
 }
 
 // NewRAM returns size bytes of physical memory starting at base.
@@ -76,6 +84,9 @@ func (m *RAM) Write(addr uint64, data []byte) error {
 			p = make([]byte, pageSize)
 			m.pages[page] = p
 		}
+		if m.tracking {
+			m.dirty[page] = struct{}{}
+		}
 		chunk := int(pageSize - pgOff)
 		if rem := len(data) - i; chunk > rem {
 			chunk = rem
@@ -117,10 +128,18 @@ func (m *RAM) Zero(addr uint64, n int) error {
 			chunk = rem
 		}
 		if pgOff == 0 && chunk == pageSize {
-			delete(m.pages, page)
+			if _, ok := m.pages[page]; ok {
+				delete(m.pages, page)
+				if m.tracking {
+					m.dirty[page] = struct{}{}
+				}
+			}
 		} else if p, ok := m.pages[page]; ok {
 			for j := 0; j < chunk; j++ {
 				p[int(pgOff)+j] = 0
+			}
+			if m.tracking {
+				m.dirty[page] = struct{}{}
 			}
 		}
 		i += chunk
@@ -136,8 +155,94 @@ func (m *RAM) PagesAllocated() int { return len(m.pages) }
 // Reset drops every materialised page, returning the RAM to its
 // power-on (all-zero) content. The page map itself stays allocated — the
 // warm machine-reuse path re-materialises the handful of pages a run
-// writes.
-func (m *RAM) Reset() { clear(m.pages) }
+// writes. A bulk clear defeats page-granular tracking, so the dirty set
+// degrades to "everything" and the next RestoreSnapshot takes the full
+// copy path.
+func (m *RAM) Reset() {
+	clear(m.pages)
+	if m.tracking {
+		m.allDirty = true
+		clear(m.dirty)
+	}
+}
+
+// RAMSnapshot is an immutable deep copy of the materialised page set at
+// capture time. It doubles as the identity token for delta restores: a
+// RAM remembers which snapshot its dirty set is relative to, and only a
+// restore of that same snapshot may take the dirty-pages-only path.
+type RAMSnapshot struct {
+	pages map[uint64][]byte
+}
+
+// Pages returns how many pages the snapshot image holds.
+func (s *RAMSnapshot) Pages() int { return len(s.pages) }
+
+// CaptureSnapshot deep-copies the current content and switches the RAM
+// into dirty-page tracking mode: from here on, Write and Zero mark the
+// pages they touch so a later RestoreSnapshot of this image copies back
+// only what changed.
+func (m *RAM) CaptureSnapshot() *RAMSnapshot {
+	s := &RAMSnapshot{pages: make(map[uint64][]byte, len(m.pages))}
+	for page, p := range m.pages {
+		cp := make([]byte, pageSize)
+		copy(cp, p)
+		s.pages[page] = cp
+	}
+	m.tracking = true
+	if m.dirty == nil {
+		m.dirty = make(map[uint64]struct{})
+	} else {
+		clear(m.dirty)
+	}
+	m.allDirty = false
+	m.lastSnap = s
+	return s
+}
+
+// RestoreSnapshot rewrites the RAM to exactly the snapshot's content and
+// returns (dirtied, restored): how many pages the preceding run touched
+// and how many pages the restore had to copy. When the dirty set is
+// relative to this very snapshot the restore is a delta — each dirtied
+// page is recopied from the image (or dropped, if the image never had
+// it); otherwise (first restore of a different image, or after a bulk
+// Reset set allDirty) every page is rebuilt from the image.
+func (m *RAM) RestoreSnapshot(s *RAMSnapshot) (dirtied, restored int) {
+	if m.tracking && m.lastSnap == s && !m.allDirty {
+		dirtied = len(m.dirty)
+		for page := range m.dirty {
+			img, ok := s.pages[page]
+			if !ok {
+				delete(m.pages, page)
+				continue
+			}
+			p, live := m.pages[page]
+			if !live {
+				p = make([]byte, pageSize)
+				m.pages[page] = p
+			}
+			copy(p, img)
+			restored++
+		}
+	} else {
+		dirtied = len(m.pages)
+		clear(m.pages)
+		for page, img := range s.pages {
+			cp := make([]byte, pageSize)
+			copy(cp, img)
+			m.pages[page] = cp
+			restored++
+		}
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[uint64]struct{})
+	} else {
+		clear(m.dirty)
+	}
+	m.tracking = true
+	m.allDirty = false
+	m.lastSnap = s
+	return dirtied, restored
+}
 
 // Digest folds the materialised content into a 64-bit FNV-1a hash,
 // visiting pages in ascending index order so the value is deterministic.

@@ -252,6 +252,19 @@ func (s *Stage2) Carve(start, size uint64) int {
 	return affected
 }
 
+// CaptureSnapshot returns a deep copy of the region list, suitable for
+// rewinding the address space later with RestoreSnapshot.
+func (s *Stage2) CaptureSnapshot() []Region {
+	return append([]Region(nil), s.regions...)
+}
+
+// RestoreSnapshot replaces the region list with a copy of regions (as
+// returned by CaptureSnapshot — already sorted by Virt), reusing the
+// live backing array.
+func (s *Stage2) RestoreSnapshot(regions []Region) {
+	s.regions = append(s.regions[:0], regions...)
+}
+
 // Regions returns a copy of the mapped regions in ascending Virt order.
 func (s *Stage2) Regions() []Region {
 	out := make([]Region, len(s.regions))

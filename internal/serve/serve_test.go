@@ -361,14 +361,15 @@ func TestCancellationFreesSlotAndLeavesResumableArtefact(t *testing.T) {
 // then the quiet tenant). Per-tenant submission order is preserved.
 func TestHTTPFairnessFloodedTenant(t *testing.T) {
 	_, c := newTestServer(t, Config{SkipGoldenCheck: true, Slots: 1, WorkersPerJob: 1})
-	// Each flood job simulates 20 minute-horizon runs, so the slot stays
-	// occupied for real wall-clock time and the backlog is still queued
-	// when the quiet tenant shows up. Distinct seeds defeat the result
-	// cache.
+	// Each flood job simulates 40 minute-horizon runs, so the slot stays
+	// occupied for real wall-clock time — long enough that the backlog
+	// is still queued when the quiet tenant shows up, even with
+	// snapshot-restore machines recycling runs in microseconds. Distinct
+	// seeds defeat the result cache.
 	var flood []string
 	for i := 0; i < 4; i++ {
 		_, v := rawSubmit(t, c.Base, &SubmitRequest{
-			Tenant: "noisy", Plan: "E3-fig3", Runs: 10, Seed: Seed(100 + i),
+			Tenant: "noisy", Plan: "E3-fig3", Runs: 40, Seed: Seed(100 + i),
 		})
 		flood = append(flood, v.ID)
 	}

@@ -17,10 +17,29 @@ type slot struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among same-instant events
 	fn   func()
-	gen  uint32 // bumped on every free; stale handles become no-ops
+	// period > 0 marks a periodic event (Every): the slot is not freed on
+	// pop — after its callback returns it is re-pushed at when+period with
+	// a fresh seq. Keeping periodicity in the slab (instead of closure
+	// state inside the tick function) is what makes the scheduler
+	// snapshot-restorable: a captured slot array carries everything a
+	// periodic timer needs to keep firing after a restore.
+	period Time
+	gen    uint32 // bumped on every free; stale handles become no-ops
 	// canceled events stay in the heap but are skipped when popped;
 	// this keeps cancellation O(1).
 	canceled bool
+}
+
+// heapEnt is one heap entry: the slab index plus a copy of the slot's
+// ordering key. Duplicating (when, seq) into the heap keeps comparisons
+// inside one contiguous array — no slab dereference per compare on the
+// hottest loop in the simulator. The key copy never goes stale: a slot's
+// key only changes when it is (re)pushed, and every push writes a fresh
+// entry.
+type heapEnt struct {
+	when Time
+	seq  uint64
+	idx  int32
 }
 
 // Event is a cheap, copyable handle to a scheduled callback. The zero
@@ -56,8 +75,8 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	slots    []slot
-	freeList []int32 // stack of free slab indices
-	heap     []int32 // slab indices ordered by (when, seq)
+	freeList []int32   // stack of free slab indices
+	heap     []heapEnt // slab indices + keys ordered by (when, seq)
 	rng      *RNG
 	trace    *Trace
 	halted   bool
@@ -108,6 +127,7 @@ func (e *Engine) Reset(seed uint64) {
 	e.freeList = e.freeList[:0]
 	for i := range e.slots {
 		e.slots[i].fn = nil
+		e.slots[i].period = 0
 		e.slots[i].gen++
 		e.freeList = append(e.freeList, int32(i))
 	}
@@ -125,12 +145,11 @@ func (e *Engine) RNG() *RNG { return e.rng }
 func (e *Engine) Trace() *Trace { return e.trace }
 
 // less orders heap entries by (when, seq).
-func (e *Engine) less(a, b int32) bool {
-	sa, sb := &e.slots[a], &e.slots[b]
-	if sa.when != sb.when {
-		return sa.when < sb.when
+func (e *Engine) less(a, b heapEnt) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return sa.seq < sb.seq
+	return a.seq < b.seq
 }
 
 func (e *Engine) siftUp(i int) {
@@ -181,9 +200,9 @@ func (e *Engine) Schedule(when Time, fn func()) Event {
 		idx = int32(len(e.slots) - 1)
 	}
 	s := &e.slots[idx]
-	s.when, s.seq, s.fn, s.canceled = when, e.seq, fn, false
+	s.when, s.seq, s.fn, s.period, s.canceled = when, e.seq, fn, 0, false
 	e.seq++
-	e.heap = append(e.heap, idx)
+	e.heap = append(e.heap, heapEnt{when: s.when, seq: s.seq, idx: idx})
 	e.siftUp(len(e.heap) - 1)
 	return Event{eng: e, idx: idx, gen: s.gen}
 }
@@ -194,28 +213,20 @@ func (e *Engine) After(d Time, fn func()) Event {
 }
 
 // Every schedules fn at now+d, then every d thereafter, until the returned
-// cancel function is called or the engine halts.
+// cancel function is called or the engine halts. The periodicity lives in
+// the event slot itself (slot.period), not in closure state: the slot is
+// kept across deliveries and re-pushed after each callback with a fresh
+// sequence number — exactly the seq the old re-scheduling closure would
+// have drawn, so same-instant tie-breaks are unchanged. Because the whole
+// timer is slab state, a scheduler snapshot captures it and a restore
+// revives it, which closure-local stop latches could never survive.
 func (e *Engine) Every(d Time, fn func()) (cancel func()) {
 	if d <= 0 {
 		d = Nanosecond
 	}
-	stopped := false
-	var current Event
-	var tick func()
-	tick = func() {
-		if stopped || e.halted {
-			return
-		}
-		fn()
-		if !stopped && !e.halted {
-			current = e.After(d, tick)
-		}
-	}
-	current = e.After(d, tick)
-	return func() {
-		stopped = true
-		current.Cancel()
-	}
+	ev := e.Schedule(e.now+d, fn)
+	e.slots[ev.idx].period = d
+	return ev.Cancel
 }
 
 // Halt stops the run: Run returns ErrHalted once the current event
@@ -231,23 +242,73 @@ func (e *Engine) Halt(reason string) {
 // Halted reports whether Halt was called, and the recorded reason.
 func (e *Engine) Halted() (bool, string) { return e.halted, e.haltMsg }
 
-// pop removes the heap minimum and frees its slot, returning the event
-// payload. The slot is recycled before the callback runs, so a callback
-// that schedules may reuse the very slot of the event being delivered.
-func (e *Engine) pop() (when Time, fn func(), canceled bool) {
-	idx := e.heap[0]
+// removeRoot removes the heap minimum (the entry itself, not the slot).
+func (e *Engine) removeRoot() {
 	last := len(e.heap) - 1
 	e.heap[0] = e.heap[last]
 	e.heap = e.heap[:last]
 	if last > 0 {
 		e.siftDown(0)
 	}
+}
+
+// free returns a slot to the free list, invalidating outstanding handles.
+func (e *Engine) free(idx int32) {
 	s := &e.slots[idx]
-	when, fn, canceled = s.when, s.fn, s.canceled
 	s.fn = nil
+	s.period = 0
 	s.gen++
 	e.freeList = append(e.freeList, idx)
-	return when, fn, canceled
+}
+
+// rearm re-keys a delivered periodic slot to now+period with a fresh
+// sequence number — drawn after the callback ran, matching the seq the
+// old closure-based Every consumed when it rescheduled itself. The slot
+// was left at the heap root during the callback (nothing the callback can
+// schedule sorts before an already-due event, so the root cannot move),
+// which makes the re-arm an in-place key update plus one sift-down
+// instead of a remove/re-push pair. A halt during the callback, or a
+// cancel through the timer's handle, frees the slot instead: the chain
+// ends exactly where the closure latch ended it.
+func (e *Engine) rearm(idx int32) {
+	s := &e.slots[idx]
+	pos := 0
+	if len(e.heap) == 0 || e.heap[0].idx != idx {
+		// Defensive: the callback re-entered the scheduler in a way that
+		// displaced the root. Locate the slot the slow way.
+		pos = -1
+		for i := range e.heap {
+			if e.heap[i].idx == idx {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return
+		}
+	}
+	if e.halted || s.canceled {
+		e.removeAt(pos)
+		e.free(idx)
+		return
+	}
+	s.when = e.now + s.period
+	s.seq = e.seq
+	e.seq++
+	e.heap[pos] = heapEnt{when: s.when, seq: s.seq, idx: idx}
+	// The key only grew, so sifting down restores the heap invariant.
+	e.siftDown(pos)
+}
+
+// removeAt removes the heap entry at pos.
+func (e *Engine) removeAt(pos int) {
+	last := len(e.heap) - 1
+	e.heap[pos] = e.heap[last]
+	e.heap = e.heap[:last]
+	if pos < last {
+		e.siftDown(pos)
+		e.siftUp(pos)
+	}
 }
 
 // Run executes events in order until the queue is empty, the horizon is
@@ -266,15 +327,30 @@ func (e *Engine) Run(horizon Time) error {
 		if e.halted {
 			return fmt.Errorf("%w at %v: %s", ErrHalted, e.now, e.haltMsg)
 		}
-		if e.slots[e.heap[0]].when > horizon {
+		top := e.heap[0]
+		if top.when > horizon {
 			break
 		}
-		when, fn, canceled := e.pop()
-		if canceled {
+		s := &e.slots[top.idx]
+		if s.canceled {
+			e.removeRoot()
+			e.free(top.idx)
 			continue
 		}
-		e.now = when
-		fn()
+		e.now = top.when
+		if s.period > 0 {
+			// Periodic: the slot stays at the root while its callback
+			// runs; rearm re-keys it in place.
+			s.fn()
+			e.rearm(top.idx)
+		} else {
+			// One-shot: freed before the callback runs, so a callback
+			// that schedules may reuse the very slot being delivered.
+			fn := s.fn
+			e.removeRoot()
+			e.free(top.idx)
+			fn()
+		}
 		e.executed++
 		if e.now != lastNow {
 			lastNow = e.now
@@ -299,16 +375,79 @@ func (e *Engine) Run(horizon Time) error {
 // control over interleaving.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		when, fn, canceled := e.pop()
-		if canceled {
+		top := e.heap[0]
+		s := &e.slots[top.idx]
+		if s.canceled {
+			e.removeRoot()
+			e.free(top.idx)
 			continue
 		}
-		e.now = when
-		fn()
+		e.now = top.when
+		if s.period > 0 {
+			s.fn()
+			e.rearm(top.idx)
+		} else {
+			fn := s.fn
+			e.removeRoot()
+			e.free(top.idx)
+			fn()
+		}
 		e.executed++
 		return true
 	}
 	return false
+}
+
+// EngineSnapshot is a deep copy of the scheduler at one instant: clock,
+// sequence counter, the whole event slab (callbacks included — closures
+// are captured by reference, which is safe because every closure a boot
+// schedules references the machine object the snapshot belongs to), the
+// free list, the heap order and the trace contents. It is immutable after
+// capture and may be restored into its engine any number of times.
+type EngineSnapshot struct {
+	now      Time
+	seq      uint64
+	slots    []slot
+	freeList []int32
+	heap     []heapEnt
+	trace    traceSnapshot
+}
+
+// CaptureSnapshot deep-copies the engine's scheduler and trace state.
+// The snapshot belongs to this engine: slot callbacks are closures over
+// the machine that scheduled them, so restoring it into a different
+// engine would resurrect events that mutate the wrong machine.
+func (e *Engine) CaptureSnapshot() *EngineSnapshot {
+	s := &EngineSnapshot{now: e.now, seq: e.seq}
+	s.slots = append([]slot(nil), e.slots...)
+	s.freeList = append([]int32(nil), e.freeList...)
+	s.heap = append([]heapEnt(nil), e.heap...)
+	e.trace.capture(&s.trace)
+	return s
+}
+
+// RestoreSnapshot rewinds the engine to a captured state and reseeds the
+// RNG, reusing the live slab/heap/trace buffers. Slot generations are
+// restored exactly, so Event handles held inside snapshotted closures
+// (periodic-timer cancels, watchdog handles) remain valid after the
+// restore; handles minted after the capture are invalidated. halted and
+// the executed counter reset as Reset would — they are run products, not
+// boot products.
+func (e *Engine) RestoreSnapshot(s *EngineSnapshot, seed uint64) {
+	e.now, e.seq = s.now, s.seq
+	e.halted, e.haltMsg = false, ""
+	e.executed = 0
+	// Slots the run added beyond the snapshot's slab retain closures (and
+	// whatever those closures capture); zero them before truncating so the
+	// copy-back cannot pin dead run state.
+	for i := len(s.slots); i < len(e.slots); i++ {
+		e.slots[i] = slot{}
+	}
+	e.slots = append(e.slots[:0], s.slots...)
+	e.freeList = append(e.freeList[:0], s.freeList...)
+	e.heap = append(e.heap[:0], s.heap...)
+	e.rng.Reseed(seed)
+	e.trace.restore(&s.trace)
 }
 
 // Executed returns the number of events delivered since the last Reset.

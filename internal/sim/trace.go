@@ -115,9 +115,12 @@ func (r Record) String() string {
 // format string and typed args are kept and only rendered (once, cached)
 // when somebody actually reads the message.
 type record struct {
-	at       Time
-	msg      string // rendered message, or the static message itself
-	format   string // pending format; "" once rendered
+	at Time
+	// text is the rendered message when rendered is set, otherwise the
+	// pending format string. One field for both keeps the record at 40
+	// bytes, which matters: the arena holds tens of thousands of records
+	// and every append crosses the write barrier once per string field.
+	text     string
 	argPos   uint32 // index into Trace.args
 	argN     uint16
 	kind     Kind
@@ -144,6 +147,13 @@ type Trace struct {
 	incremental bool
 	hbuf        []byte // reusable per-record hash line buffer
 	argv        []any  // reusable boxed-operand scratch for fmt.Appendf
+
+	// lastSnap identifies the snapshot whose content is the current
+	// prefix of this trace. The trace is append-only between Resets, so
+	// while lastSnap matches, restoring that snapshot is a truncation —
+	// no prefix copy. Reset and a restore from a different snapshot
+	// clear/replace it.
+	lastSnap *traceSnapshot
 }
 
 // NewTrace returns an empty trace.
@@ -182,12 +192,64 @@ func (t *Trace) Reset() {
 	t.hstate = fnvOffset64
 	t.hashed = 0
 	t.incremental = false
+	t.lastSnap = nil
+}
+
+// traceSnapshot is a deep copy of a trace's contents and running digest
+// at one instant, captured into an EngineSnapshot so a machine restore
+// rewinds the trace to its post-boot prefix instead of replaying it.
+type traceSnapshot struct {
+	recs   []record
+	args   []Arg
+	hstate uint64
+	hashed int
+}
+
+// capture deep-copies the trace into s (reusing s's buffers). The trace
+// content now equals the snapshot's, so s becomes the truncation anchor.
+func (t *Trace) capture(s *traceSnapshot) {
+	s.recs = append(s.recs[:0], t.recs...)
+	s.args = append(s.args[:0], t.args...)
+	s.hstate = t.hstate
+	s.hashed = t.hashed
+	t.lastSnap = s
+}
+
+// restore rewinds the trace to a captured prefix, keeping live buffers.
+// When the snapshot is the one this trace's prefix already derives from
+// (the steady state of a pooled machine restoring the same post-boot
+// image run after run), the prefix is untouched — records are append-only
+// between Resets, and render()'s in-place message caching is
+// semantics-preserving — so the restore is a truncation with no copy.
+// Records and args the run appended beyond the snapshot are zeroed (past
+// the new length, within capacity) so their rendered strings are
+// released. Incremental hashing is switched off, exactly as Reset does:
+// the run harness re-enables it per run when it wants hash-on-append.
+func (t *Trace) restore(s *traceSnapshot) {
+	oldRecs, oldArgs := len(t.recs), len(t.args)
+	if t.lastSnap == s && oldRecs >= len(s.recs) && oldArgs >= len(s.args) {
+		t.recs = t.recs[:len(s.recs)]
+		t.args = t.args[:len(s.args)]
+	} else {
+		t.recs = append(t.recs[:0], s.recs...)
+		t.args = append(t.args[:0], s.args...)
+		t.lastSnap = s
+	}
+	for i := len(t.recs); i < oldRecs; i++ {
+		t.recs[:oldRecs][i] = record{}
+	}
+	for i := len(t.args); i < oldArgs; i++ {
+		t.args[:oldArgs][i] = Arg{}
+	}
+	t.hstate = s.hstate
+	t.hashed = s.hashed
+	t.incremental = false
 }
 
 // Add appends a record whose message needs no formatting.
 func (t *Trace) Add(at Time, kind Kind, cpu int, msg string) {
 	t.recs = append(t.recs, record{
-		at: at, msg: msg, kind: kind, cpu: int16(cpu), rendered: true,
+		at: at, text: msg, kind: kind, cpu: int16(cpu), rendered: true,
 	})
 	if t.incremental {
 		t.foldTo(len(t.recs))
@@ -207,7 +269,7 @@ func (t *Trace) Addf(at Time, kind Kind, cpu int, format string, args ...Arg) {
 	pos := uint32(len(t.args))
 	t.args = append(t.args, args...)
 	t.recs = append(t.recs, record{
-		at: at, format: format, argPos: pos, argN: uint16(len(args)),
+		at: at, text: format, argPos: pos, argN: uint16(len(args)),
 		kind: kind, cpu: int16(cpu),
 	})
 	if t.incremental {
@@ -219,20 +281,17 @@ func (t *Trace) Addf(at Time, kind Kind, cpu int, format string, args ...Arg) {
 func (t *Trace) render(i int) string {
 	r := &t.recs[i]
 	if r.rendered {
-		return r.msg
+		return r.text
 	}
-	if r.argN == 0 {
-		r.msg = r.format
-	} else {
+	if r.argN > 0 {
 		av := make([]any, r.argN)
 		for j := range av {
 			av[j] = t.args[int(r.argPos)+j].value()
 		}
-		r.msg = fmt.Sprintf(r.format, av...)
+		r.text = fmt.Sprintf(r.text, av...)
 	}
 	r.rendered = true
-	r.format = ""
-	return r.msg
+	return r.text
 }
 
 // Len returns the number of records.
@@ -357,10 +416,8 @@ func (t *Trace) foldTo(upTo int) {
 		buf = strconv.AppendInt(buf, int64(r.cpu), 10)
 		buf = append(buf, '|')
 		switch {
-		case r.rendered:
-			buf = append(buf, r.msg...)
-		case r.argN == 0:
-			buf = append(buf, r.format...)
+		case r.rendered || r.argN == 0:
+			buf = append(buf, r.text...)
 		default:
 			// Format straight into the hash buffer: byte-identical to
 			// render()'s fmt.Sprintf, but no message string is retained.
@@ -368,7 +425,7 @@ func (t *Trace) foldTo(upTo int) {
 			for j := 0; j < int(r.argN); j++ {
 				argv = append(argv, t.args[int(r.argPos)+j].value())
 			}
-			buf = fmt.Appendf(buf, r.format, argv...)
+			buf = fmt.Appendf(buf, r.text, argv...)
 			for j := range argv {
 				argv[j] = nil // drop boxed values, keep capacity
 			}

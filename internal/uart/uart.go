@@ -89,6 +89,50 @@ func (u *UART) Reset(name string, now func() sim.Time) {
 	u.OnLine = nil
 }
 
+// Snapshot is a deep copy of a UART's register and capture state at one
+// instant. The line hook is captured as a func value: the machine's boot
+// wires it to objects the snapshot belongs to, so restoring the same
+// value is exact.
+type Snapshot struct {
+	ier     uint32
+	lcr     uint32
+	txLog   []byte
+	noBytes bool
+	lines   []Line
+	cur     string
+	onLine  func(Line)
+}
+
+// CaptureSnapshot deep-copies the UART state.
+func (u *UART) CaptureSnapshot() *Snapshot {
+	return &Snapshot{
+		ier:     u.ier,
+		lcr:     u.lcr,
+		txLog:   append([]byte(nil), u.txLog...),
+		noBytes: u.noBytes,
+		lines:   append([]Line(nil), u.lines...),
+		cur:     u.cur.String(),
+		onLine:  u.OnLine,
+	}
+}
+
+// RestoreSnapshot rewinds the UART to a captured state, reusing the live
+// line/byte buffers. Lines the run appended beyond the snapshot are
+// zeroed so their strings are released.
+func (u *UART) RestoreSnapshot(s *Snapshot) {
+	u.ier, u.lcr = s.ier, s.lcr
+	u.noBytes = s.noBytes
+	u.txLog = append(u.txLog[:0], s.txLog...)
+	old := len(u.lines)
+	u.lines = append(u.lines[:0], s.lines...)
+	for i := len(u.lines); i < old; i++ {
+		u.lines[:old][i] = Line{}
+	}
+	u.cur.Reset()
+	u.cur.WriteString(s.cur)
+	u.OnLine = s.onLine
+}
+
 // PutByte transmits one byte.
 func (u *UART) PutByte(b byte) {
 	if !u.noBytes {

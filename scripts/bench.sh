@@ -15,6 +15,10 @@
 #                                    # per-worker warm scratch vs shared pool
 #                                    # (BenchmarkWarmMachineCampaign) next to
 #                                    # the BenchmarkCampaignThroughput anchor
+#   scripts/bench.sh snapshot        # machine recycling: post-boot image
+#                                    # restore vs deep reset per warm run
+#                                    # (BenchmarkSnapshotRestore) next to the
+#                                    # warm ladder and throughput anchors
 #   scripts/bench.sh inspect         # indexed dossier random access vs full
 #                                    # sequential scan on a 10k-run artefact,
 #                                    # plain and gzip
@@ -67,6 +71,8 @@ elif [ "$PATTERN" = "fanout" ]; then
     PATTERN='FanoutCampaign|ShardedCampaign'
 elif [ "$PATTERN" = "warm" ]; then
     PATTERN='WarmMachineCampaign|CampaignThroughput'
+elif [ "$PATTERN" = "snapshot" ]; then
+    PATTERN='SnapshotRestore|WarmMachineCampaign|CampaignThroughput'
 elif [ "$PATTERN" = "inspect" ]; then
     PATTERN='DossierRandomAccess'
 elif [ "$PATTERN" = "serve" ]; then
@@ -91,8 +97,10 @@ fi
 # batched-flush timer): run them under the race detector before
 # archiving any measurement. internal/dist now includes the index
 # footer / dossier code (writer offset metering, footer parse, random
-# access + fallback); internal/core's -short pass keeps the full
-# differential-determinism plan × mode matrix while trimming the
+# access + fallback) plus the JSONL close-vs-timed-flush and live-tail
+# rescan regressions; internal/core's -short pass keeps the full
+# differential-determinism plan × mode matrix — including the
+# snapshot-restore fault-model sweep and leak fuzz — while trimming the
 # full-duration golden campaigns. internal/serve adds the campaign
 # server (fair queue, job lifecycle, cache lookups racing executors,
 # event-stream tailers). internal/obs is the flight recorder: sharded
