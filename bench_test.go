@@ -107,6 +107,51 @@ func BenchmarkFigure3MediumIntensityCampaign(b *testing.B) {
 	runCampaignBench(b, core.PlanE3Fig3())
 }
 
+// BenchmarkAdaptiveCampaign measures what CI-driven early stopping buys
+// on the Figure-3 workload: the campaign runs under a 5pp
+// Clopper-Pearson width target with a 4000-run max-N guard, and the
+// policy certifies a prefix well short of the guard. runs_saved_pct is
+// the headline — the fraction of the fixed-N budget the adaptive
+// engine did not have to spend for the same statistical resolution —
+// and it must stay ≥ 30%. decided_at pins where the policy stopped;
+// being a pure function of the seed chain, it is identical every
+// iteration and across machines.
+func BenchmarkAdaptiveCampaign(b *testing.B) {
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 5 * sim.Second
+	plan.Name = "E3-adaptive"
+	const maxN = 4000
+	spec := &core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: 500}
+	var last *core.CampaignResult
+	for i := 0; i < b.N; i++ {
+		policy, err := analytics.NewStopPolicy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := &core.Campaign{Plan: &plan, Runs: maxN, MasterSeed: 2022,
+			Mode: core.ModeDistribution, Stop: policy}
+		res, err := c.Execute(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last.Stop == nil || !last.Stop.Fired {
+		b.Fatalf("5pp target did not fire within %d runs (decision %+v)", maxN, last.Stop)
+	}
+	decided := last.Stop.DecidedAt
+	saved := 100 * float64(maxN-decided) / maxN
+	if saved < 30 {
+		b.Fatalf("adaptive stop saved only %.1f%% of the %d-run budget (decided at %d), want ≥ 30%%", saved, maxN, decided)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(decided)*float64(b.N)/secs, "runs_per_sec")
+	}
+	b.ReportMetric(float64(decided), "decided_at")
+	b.ReportMetric(saved, "runs_saved_pct")
+	b.ReportMetric(100*last.Fraction(core.OutcomeCorrect), "correct_pct")
+}
+
 // BenchmarkA1OccurrenceSweep is the ablation over occurrence rates the
 // paper lists as future work ("wider and customizable set of fault
 // models"): the same E3 experiment at 1/25..1/400.

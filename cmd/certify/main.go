@@ -9,9 +9,11 @@
 //	certify campaign [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-csv] [-ci] [-out dir|runs.jsonl|runs.jsonl.gz]
 //	                 [-shards K -shard-index I -out shard-I.jsonl]
+//	                 [-ci-width PP [-max-runs N] [-stratify]]
 //	                 [-metrics-out metrics.json]
 //	certify fanout   [-plan E3-fig3 | -planfile f] [-fault MODEL] [-runs 100] [-seed N]
 //	                 [-shards K] [-parallel P] [-retries R] [-dir DIR]
+//	                 [-ci-width PP [-max-runs N] [-stratify]]
 //	                 [-gzip] [-stall 2m] [-csv] [-ci] [-metrics-out metrics.json]
 //	certify merge    [-csv] [-ci] [-index master-index.json] shard-*.jsonl[.gz]
 //	certify inspect  [-run K] [-outcome NAME] [-grep REGEX] [-compare TARGET] [-raw]
@@ -22,6 +24,7 @@
 //	                 [-max-runs N] [-skip-golden-check]
 //	certify submit   [-server URL] [-plan E3-fig3 | -planfile f] [-fault MODEL]
 //	                 [-runs 100] [-seed N] [-mode M] [-tenant NAME] [-wait=false]
+//	                 [-ci-width PP [-max-runs N] [-stratify]]
 //	certify watch    [-server URL] JOBID
 //
 // Exit codes are part of the CLI contract: 0 success, 1 I/O or
@@ -70,6 +73,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -311,7 +315,46 @@ type campaignFlags struct {
 	outDir     string // legacy per-run JSON directory ("" = none)
 	shards     int
 	shardIndex int
-	metricsOut string // flight-recorder JSON dump path ("" = none)
+	metricsOut string         // flight-recorder JSON dump path ("" = none)
+	stop       *core.StopSpec // adaptive stop policy (nil = fixed-N)
+	stratify   bool
+}
+
+// adaptiveStop converts the -ci-width/-max-runs pair into a stop spec.
+// -max-runs is the adaptive campaign's guard: it replaces the run count
+// (the returned int), making "stop at the CI target or at N, whichever
+// first" read naturally on the command line.
+func adaptiveStop(ciWidth float64, maxRuns, runs int) (*core.StopSpec, int, error) {
+	if ciWidth < 0 {
+		return nil, 0, fmt.Errorf("-ci-width must be non-negative, got %v", ciWidth)
+	}
+	if maxRuns != 0 && ciWidth == 0 {
+		return nil, 0, fmt.Errorf("-max-runs is the adaptive stop's guard and needs -ci-width")
+	}
+	if ciWidth == 0 {
+		return nil, runs, nil
+	}
+	if maxRuns > 0 {
+		runs = maxRuns
+	}
+	spec := &core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: int(math.Round(ciWidth * 100))}
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return spec, runs, nil
+}
+
+// printStopDecision reports where an adaptive campaign's certified
+// prefix ended.
+func printStopDecision(res *core.CampaignResult) {
+	if res.Stop == nil {
+		return
+	}
+	if res.Stop.Fired {
+		fmt.Printf("adaptive stop: CI target met — certified prefix of %d runs\n", res.Stop.DecidedAt)
+	} else {
+		fmt.Printf("adaptive stop: CI target not met by the max-N guard (%d runs)\n", res.Stop.DecidedAt)
+	}
 }
 
 // validateCampaignFlags enforces the -out/-shards/-shard-index
@@ -366,6 +409,9 @@ func cmdCampaign(args []string) error {
 	shards := fs.Int("shards", 1, "split the campaign into K contiguous shards for multi-process fan-out")
 	shardIndex := fs.Int("shard-index", 0, "which shard this process runs (0..K-1); requires -shards")
 	metricsOut := fs.String("metrics-out", "", "write the flight-recorder metrics snapshot (JSON) here after the campaign")
+	ciWidth := fs.Float64("ci-width", 0, "adaptive stop: halt once every outcome's 95% CI is narrower than this many percentage points (0 = fixed-N)")
+	maxRuns := fs.Int("max-runs", 0, "adaptive max-N guard: cap the campaign at this many runs (requires -ci-width; replaces -runs)")
+	stratify := fs.Bool("stratify", false, "rotate runs over register-class strata (args / callee-saved / control); full-GPR plans only")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -379,6 +425,10 @@ func cmdCampaign(args []string) error {
 	cf := &campaignFlags{
 		plan: plan, runs: *runs, seed: *seed, csv: *csv, ci: *ci,
 		shards: *shards, shardIndex: *shardIndex, metricsOut: *metricsOut,
+		stratify: *stratify,
+	}
+	if cf.stop, cf.runs, err = adaptiveStop(*ciWidth, *maxRuns, cf.runs); err != nil {
+		return asUsage(err)
 	}
 	if cf.mode, err = parseModeFlag(*mode); err != nil {
 		return err
@@ -398,7 +448,14 @@ func cmdCampaign(args []string) error {
 		return runShardedCampaign(cf)
 	}
 
-	c := &core.Campaign{Plan: plan, Runs: cf.runs, MasterSeed: cf.seed, Mode: cf.mode}
+	c := &core.Campaign{Plan: plan, Runs: cf.runs, MasterSeed: cf.seed, Mode: cf.mode, Stratify: cf.stratify}
+	if cf.stop != nil {
+		policy, err := analytics.NewStopPolicy(cf.stop)
+		if err != nil {
+			return err
+		}
+		c.Stop = policy
+	}
 	res, err := c.Execute(context.Background())
 	if err != nil {
 		return err
@@ -408,6 +465,7 @@ func cmdCampaign(args []string) error {
 			return err
 		}
 	}
+	printStopDecision(res)
 	printDistribution(cf, res)
 	if cf.mode == core.ModeFull && !cf.csv {
 		fmt.Print(analytics.InjectionSummary(res))
@@ -424,6 +482,7 @@ func runShardedCampaign(cf *campaignFlags) error {
 	spec := &dist.Spec{
 		Plan: cf.plan, Runs: cf.runs, MasterSeed: cf.seed,
 		Shards: cf.shards, Mode: cf.mode,
+		Stop: cf.stop, Stratify: cf.stratify,
 	}
 	sh, err := spec.Shard(cf.shardIndex)
 	if err != nil {
@@ -440,6 +499,7 @@ func runShardedCampaign(cf *campaignFlags) error {
 	} else {
 		fmt.Printf("wrote %d run records + manifest + summary to %s\n", res.Total(), cf.outJSONL)
 	}
+	printStopDecision(res)
 	printDistribution(cf, res)
 	// Full mode retains the runs, so the injection summary is available
 	// exactly as on the unsharded path (a resumed shard reloads only the
@@ -499,6 +559,7 @@ func cmdMerge(args []string) error {
 	}
 	cf := &campaignFlags{csv: *csv, ci: *ci}
 	cf.plan = &core.TestPlan{Name: first.Plan}
+	printStopDecision(res)
 	printDistribution(cf, res)
 	return nil
 }
@@ -519,6 +580,8 @@ type fanoutFlags struct {
 	quiet      bool
 	csv, ci    bool
 	metricsOut string
+	stop       *core.StopSpec
+	stratify   bool
 }
 
 // validateFanoutFlags rejects unrunnable configurations with errors
@@ -569,6 +632,9 @@ func cmdFanout(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of the bar figure")
 	ci := fs.Bool("ci", false, "print 95% Wilson confidence intervals")
 	metricsOut := fs.String("metrics-out", "", "write the flight-recorder metrics snapshot (JSON) here after the fan-out")
+	ciWidth := fs.Float64("ci-width", 0, "adaptive stop: halt once every outcome's 95% CI is narrower than this many percentage points (0 = fixed-N)")
+	maxRuns := fs.Int("max-runs", 0, "adaptive max-N guard: cap the campaign at this many runs (requires -ci-width; replaces -runs)")
+	stratify := fs.Bool("stratify", false, "rotate runs over register-class strata (args / callee-saved / control); full-GPR plans only")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -583,7 +649,10 @@ func cmdFanout(args []string) error {
 		plan: plan, runs: *runs, seed: *seed, shards: *shards,
 		parallel: *parallel, retries: *retries, dir: *dir,
 		gzip: *gz, stall: *stall, inproc: *inproc, quiet: *quiet,
-		csv: *csv, ci: *ci, metricsOut: *metricsOut,
+		csv: *csv, ci: *ci, metricsOut: *metricsOut, stratify: *stratify,
+	}
+	if ff.stop, ff.runs, err = adaptiveStop(*ciWidth, *maxRuns, ff.runs); err != nil {
+		return asUsage(err)
 	}
 	if ff.mode, err = parseModeFlag(*mode); err != nil {
 		return err
@@ -602,6 +671,7 @@ func runFanout(ff *fanoutFlags) error {
 	spec := &dist.Spec{
 		Plan: ff.plan, Runs: ff.runs, MasterSeed: ff.seed,
 		Shards: ff.shards, Mode: ff.mode,
+		Stop: ff.stop, Stratify: ff.stratify,
 	}
 	var launcher fanout.Launcher = fanout.InProcess{}
 	if !ff.inproc {
@@ -650,6 +720,7 @@ func runFanout(ff *fanoutFlags) error {
 		fmt.Printf("timing: %.2fs elapsed, %.1f runs/s\n", t.ElapsedSeconds, t.RunsPerSec)
 	}
 	cf := &campaignFlags{plan: ff.plan, csv: ff.csv, ci: ff.ci}
+	printStopDecision(res.Merged)
 	printDistribution(cf, res.Merged)
 	if ff.metricsOut != "" {
 		return writeMetricsJSON(ff.metricsOut)

@@ -107,15 +107,23 @@ func cmdSubmit(args []string) error {
 	mode := fs.String("mode", "distribution", "evidence retention: full or distribution")
 	tenant := fs.String("tenant", "", "tenant name for queue fairness (default anonymous)")
 	wait := fs.Bool("wait", true, "stream progress until the job finishes")
+	ciWidth := fs.Float64("ci-width", 0, "adaptive stop: halt once every outcome's 95% CI is narrower than this many percentage points (0 = fixed-N)")
+	maxRuns := fs.Int("max-runs", 0, "adaptive max-N guard: cap the campaign at this many runs (requires -ci-width; replaces -runs)")
+	stratify := fs.Bool("stratify", false, "rotate runs over register-class strata; full-GPR plans only")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	req := &serve.SubmitRequest{
-		Tenant: *tenant,
-		Fault:  *fault,
-		Runs:   *runs,
-		Seed:   serve.Seed(*seed),
-		Mode:   *mode,
+		Tenant:   *tenant,
+		Fault:    *fault,
+		Runs:     *runs,
+		Seed:     serve.Seed(*seed),
+		Mode:     *mode,
+		CIWidth:  *ciWidth,
+		Stratify: *stratify,
+	}
+	if *maxRuns > 0 {
+		req.Runs, req.MaxRuns = 0, *maxRuns
 	}
 	if *planFile != "" {
 		text, err := os.ReadFile(*planFile)

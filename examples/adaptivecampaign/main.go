@@ -1,0 +1,112 @@
+// Adaptive campaign: CI-driven early stop as a certified prefix. The
+// campaign runs under a Clopper-Pearson confidence-interval width
+// target instead of a fixed run count: after each committed run the
+// sequential estimator folds the outcome in, and once every outcome
+// class's 95% interval is narrower than the target the campaign halts.
+// Because the stop decision is a pure function of the deterministic
+// seed chain's outcome prefix, the stopped campaign is bit-identical
+// to the first K runs of the full campaign — an auditor replaying the
+// full budget reproduces the certified prefix exactly, which is what
+// makes the saved runs statistically free rather than quietly
+// unsound. The library form of
+// `certify campaign -ci-width PP -max-runs N [-stratify]`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/dessertlab/certify/internal/analytics"
+	"github.com/dessertlab/certify/internal/core"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+func main() {
+	maxRuns := flag.Int("max-runs", 600, "max-N guard: the fixed budget the adaptive stop competes with")
+	widthPP := flag.Float64("ci-width", 5, "stop once every outcome's 95% CI is narrower than this many percentage points")
+	seed := flag.Uint64("seed", 2022, "master seed (derives per-run seeds)")
+	flag.Parse()
+
+	plan := *core.PlanE3Fig3()
+	plan.Duration = 10 * sim.Second // keep the demo quick
+	plan.Name = "E3-adaptive-demo"
+	fmt.Println("plan:", &plan)
+
+	spec := &core.StopSpec{
+		Policy:  core.StopPolicyCIWidth,
+		WidthBP: int(*widthPP * 100),
+	}
+	fmt.Printf("stop policy: %s (every outcome's 95%% Clopper-Pearson CI ≤ %.1fpp)\n\n",
+		spec.Identity(), *widthPP)
+
+	// The adaptive campaign: Runs becomes the max-N guard; the policy
+	// may certify a shorter prefix.
+	policy, err := analytics.NewStopPolicy(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := (&core.Campaign{
+		Plan: &plan, Runs: *maxRuns, MasterSeed: *seed,
+		Mode: core.ModeDistribution, Stop: policy,
+	}).Execute(context.Background())
+	if err != nil {
+		log.Fatalf("adaptive campaign: %v", err)
+	}
+	if !adaptive.Stop.Fired {
+		fmt.Printf("CI target not met within the %d-run guard — the full budget ran\n", *maxRuns)
+		return
+	}
+	k := adaptive.Stop.DecidedAt
+	fmt.Printf("adaptive stop: certified prefix of %d runs (%.1f%% of the %d-run budget saved)\n\n",
+		k, 100*float64(*maxRuns-k)/float64(*maxRuns), *maxRuns)
+
+	dist := analytics.FromCampaign(plan.Name, adaptive)
+	fmt.Println(dist.TableWithCI())
+
+	// The certified-prefix contract, demonstrated the hard way: replay
+	// the *full* fixed-N budget, and check the adaptive campaign equals
+	// its first K runs outcome for outcome.
+	fmt.Printf("auditing: replaying the full %d-run campaign for comparison...\n", *maxRuns)
+	prefix := make([]core.Outcome, 0, *maxRuns)
+	full, err := (&core.Campaign{
+		Plan: &plan, Runs: *maxRuns, MasterSeed: *seed, Mode: core.ModeDistribution, Workers: 1,
+		OnRun: func(index int, r *core.RunResult) {
+			prefix = append(prefix, r.Outcome())
+		},
+	}).Execute(context.Background())
+	if err != nil {
+		log.Fatalf("full campaign: %v", err)
+	}
+	refold := make(map[core.Outcome]int)
+	for _, o := range prefix[:k] {
+		refold[o]++
+	}
+	for _, o := range core.AllOutcomes() {
+		if adaptive.Count(o) != refold[o] {
+			log.Fatalf("PREFIX VIOLATION: %v = %d adaptive, %d in the full campaign's first %d runs",
+				o, adaptive.Count(o), refold[o], k)
+		}
+	}
+	fmt.Printf("certified prefix verified: the stopped campaign is the full campaign's first %d runs, exactly\n\n", k)
+
+	// What the saved budget would have told us: the full campaign's
+	// estimate, next to the certified prefix's. The intervals overlap —
+	// the extra runs buy width the target already declared unnecessary.
+	est, err := analytics.NewSequentialEstimator(core.IntervalClopperPearson, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est.AddCampaign(full)
+	fmt.Printf("%-22s %16s %20s\n", "outcome", fmt.Sprintf("prefix n=%d", k), fmt.Sprintf("full n=%d", *maxRuns))
+	for _, o := range core.AllOutcomes() {
+		if adaptive.Count(o) == 0 && full.Count(o) == 0 {
+			continue
+		}
+		plo, phi := analytics.ClopperPearson(adaptive.Count(o), adaptive.Total(), 0.95)
+		flo, fhi := est.Interval(o)
+		fmt.Printf("%-22s [%5.1f%%,%5.1f%%]   [%5.1f%%,%5.1f%%]\n",
+			o, 100*plo, 100*phi, 100*flo, 100*fhi)
+	}
+}

@@ -1,0 +1,267 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/dessertlab/certify/internal/core"
+)
+
+// binomCDF is the brute-force reference P(X <= k) for X ~ Binomial(n,p),
+// summed term by term in log space — no incomplete beta involved, so it
+// cross-checks the continued-fraction evaluation against the
+// definition itself.
+func binomCDF(k, n int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		if k >= n {
+			return 1
+		}
+		return 0
+	}
+	lgn, _ := math.Lgamma(float64(n + 1))
+	sum := 0.0
+	for i := 0; i <= k && i <= n; i++ {
+		lgi, _ := math.Lgamma(float64(i + 1))
+		lgni, _ := math.Lgamma(float64(n - i + 1))
+		sum += math.Exp(lgn - lgi - lgni + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	return sum
+}
+
+// TestClopperPearsonReferenceTails pins the exact interval to its
+// defining tail equations, against brute-force binomial sums for every
+// k at a ladder of n up to 200: at the lower endpoint the upper tail
+// P(X >= k) equals alpha/2, at the upper endpoint the lower tail
+// P(X <= k) equals alpha/2.
+func TestClopperPearsonReferenceTails(t *testing.T) {
+	const conf = 0.95
+	const alpha = 1 - conf
+	const tol = 1e-8
+	for _, n := range []int{1, 2, 3, 5, 10, 23, 40, 100, 200} {
+		for k := 0; k <= n; k++ {
+			lo, hi := ClopperPearson(k, n, conf)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("CP(%d,%d) = [%v,%v] not an ordered subinterval of [0,1]", k, n, lo, hi)
+			}
+			if k == 0 {
+				if lo != 0 {
+					t.Fatalf("CP(0,%d) lo = %v, want exactly 0", n, lo)
+				}
+			} else if got := 1 - binomCDF(k-1, n, lo); math.Abs(got-alpha/2) > tol {
+				t.Fatalf("CP(%d,%d): P(X>=%d | p=lo) = %v, want %v", k, n, k, got, alpha/2)
+			}
+			if k == n {
+				if hi != 1 {
+					t.Fatalf("CP(%d,%d) hi = %v, want exactly 1", n, n, hi)
+				}
+			} else if got := binomCDF(k, n, hi); math.Abs(got-alpha/2) > tol {
+				t.Fatalf("CP(%d,%d): P(X<=%d | p=hi) = %v, want %v", k, n, k, got, alpha/2)
+			}
+		}
+	}
+}
+
+// TestClopperPearsonBoundaries pins the closed forms at the boundary
+// counts: k=0 gives [0, 1-(alpha/2)^(1/n)], k=n mirrors it, and n=1
+// exercises both at the smallest campaign.
+func TestClopperPearsonBoundaries(t *testing.T) {
+	const alpha = 0.05
+	for _, n := range []int{1, 2, 7, 40, 200} {
+		want := 1 - math.Pow(alpha/2, 1/float64(n))
+		lo, hi := ClopperPearson(0, n, 0.95)
+		if lo != 0 || math.Abs(hi-want) > 1e-9 {
+			t.Fatalf("CP(0,%d) = [%v,%v], want [0,%v]", n, lo, hi, want)
+		}
+		lo, hi = ClopperPearson(n, n, 0.95)
+		if hi != 1 || math.Abs(lo-(1-want)) > 1e-9 {
+			t.Fatalf("CP(%d,%d) = [%v,%v], want [%v,1]", n, n, lo, hi, 1-want)
+		}
+	}
+	if lo, hi := ClopperPearson(3, 0, 0.95); lo != 0 || hi != 0 {
+		t.Fatal("n=0 must be inert")
+	}
+}
+
+// TestClopperPearsonMonotonicInN: at a fixed observed proportion, the
+// exact interval must tighten as evidence accumulates — the property
+// that makes CI-width stopping terminate.
+func TestClopperPearsonMonotonicInN(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.975, 1} {
+		prev := math.Inf(1)
+		for _, n := range []int{8, 16, 40, 80, 200} {
+			k := int(math.Round(frac * float64(n)))
+			lo, hi := ClopperPearson(k, n, 0.95)
+			if w := hi - lo; w >= prev {
+				t.Fatalf("CP width at p=%v not shrinking: n=%d gives %v, previous %v", frac, n, w, prev)
+			} else {
+				prev = w
+			}
+		}
+	}
+}
+
+// TestClopperPearsonProperty: for arbitrary (k, n) the interval is an
+// ordered subinterval of [0,1] containing the point estimate, and its
+// guaranteed coverage P(lo <= p̂true) is conservative — checked by the
+// tail sums at the endpoints staying at or below alpha/2 (never above:
+// exact intervals never under-cover).
+func TestClopperPearsonProperty(t *testing.T) {
+	prop := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := ClopperPearson(k, n, 0.95)
+		p := float64(k) / float64(n)
+		if !(lo <= p && p <= hi && lo >= 0 && hi <= 1) {
+			return false
+		}
+		if k > 0 && 1-binomCDF(k-1, n, lo) > 0.025+1e-8 {
+			return false
+		}
+		if k < n && binomCDF(k, n, hi) > 0.025+1e-8 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWilsonEndpointEquation pins Wilson's endpoints to their defining
+// equation |p̂ - x| = z·sqrt(x(1-x)/n): the score test statistic equals
+// z exactly at both ends (boundary clamps aside).
+func TestWilsonEndpointEquation(t *testing.T) {
+	check := func(k, n int, x float64) {
+		t.Helper()
+		p := float64(k) / float64(n)
+		lhs := math.Abs(p - x)
+		rhs := Z95 * math.Sqrt(x*(1-x)/float64(n))
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("Wilson(%d,%d) endpoint %v: |p̂-x| = %v, z·se = %v", k, n, x, lhs, rhs)
+		}
+	}
+	for _, n := range []int{1, 2, 5, 23, 40, 100, 200} {
+		for k := 0; k <= n; k++ {
+			lo, hi := Wilson(k, n, Z95)
+			if k > 0 {
+				check(k, n, lo)
+			}
+			if k < n {
+				check(k, n, hi)
+			}
+		}
+	}
+}
+
+// TestSequentialEstimatorFolds: streaming observations and an offline
+// campaign fold produce the same counts and intervals, and more
+// evidence always narrows MaxWidth.
+func TestSequentialEstimatorFolds(t *testing.T) {
+	stream, err := NewSequentialEstimator("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.MaxWidth() != 1 {
+		t.Fatalf("empty estimator MaxWidth = %v, want 1", stream.MaxWidth())
+	}
+	res := &core.CampaignResult{}
+	prev := 1.0
+	for i := 0; i < 120; i++ {
+		o := core.OutcomeCorrect
+		if i%8 == 3 {
+			o = core.OutcomePanicPark
+		}
+		stream.Observe(o)
+		res.AddSample(o, 1, -1)
+		if i%40 == 39 {
+			if w := stream.MaxWidth(); w >= prev {
+				t.Fatalf("MaxWidth not shrinking at n=%d: %v >= %v", stream.N(), w, prev)
+			} else {
+				prev = w
+			}
+		}
+	}
+	batch, err := NewSequentialEstimator(core.IntervalClopperPearson, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.AddCampaign(res)
+	if stream.N() != batch.N() {
+		t.Fatalf("N: stream %d, batch %d", stream.N(), batch.N())
+	}
+	for _, o := range core.AllOutcomes() {
+		slo, shi := stream.Interval(o)
+		blo, bhi := batch.Interval(o)
+		if slo != blo || shi != bhi {
+			t.Fatalf("%s: stream [%v,%v], batch [%v,%v]", o, slo, shi, blo, bhi)
+		}
+	}
+	stream.Reset()
+	if stream.N() != 0 || stream.MaxWidth() != 1 {
+		t.Fatal("Reset did not clear the estimator")
+	}
+	if _, err := NewSequentialEstimator("gaussian", 0.95); err == nil {
+		t.Fatal("unknown interval kind accepted")
+	}
+	if _, err := NewSequentialEstimator("", 1.5); err == nil {
+		t.Fatal("confidence outside (0,1) accepted")
+	}
+}
+
+// TestStopPolicyDeterministicReplay: the policy is a pure function of
+// the outcome prefix — two replays of the same sequence decide at the
+// same index, MinRuns floors the decision and CheckEvery coarsens it.
+func TestStopPolicyDeterministicReplay(t *testing.T) {
+	seq := make([]core.Outcome, 400)
+	for i := range seq {
+		seq[i] = core.OutcomeCorrect
+		if i%16 == 5 {
+			seq[i] = core.OutcomePanicPark
+		}
+	}
+	decide := func(spec *core.StopSpec) int {
+		p, err := NewStopPolicy(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Reset()
+		for i, o := range seq {
+			if p.Observe(i, o) {
+				return i + 1
+			}
+		}
+		return len(seq)
+	}
+	spec := &core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: 5000}
+	first := decide(spec)
+	if first == len(seq) {
+		t.Fatalf("50pp target never met over %d runs", len(seq))
+	}
+	if again := decide(spec); again != first {
+		t.Fatalf("replay decided at %d, first pass at %d", again, first)
+	}
+	floored := decide(&core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: 5000, MinRuns: first + 50})
+	if floored < first+50 {
+		t.Fatalf("MinRuns %d not honoured: decided at %d", first+50, floored)
+	}
+	every := decide(&core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: 5000, CheckEvery: 7})
+	if every%7 != 0 {
+		t.Fatalf("CheckEvery 7 decided at %d, not a multiple of 7", every)
+	}
+	if every < first {
+		t.Fatalf("coarser checks decided earlier (%d) than per-run checks (%d)", every, first)
+	}
+	if _, err := NewStopPolicy(nil); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := NewStopPolicy(&core.StopSpec{Policy: "by-vibes", WidthBP: 100}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewStopPolicy(&core.StopSpec{Policy: core.StopPolicyCIWidth, WidthBP: 0}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

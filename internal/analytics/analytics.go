@@ -27,6 +27,30 @@ func FromCampaign(label string, res *core.CampaignResult) *Distribution {
 	}
 }
 
+// classes returns the render order: Order first, then every outcome
+// class present in Counts but absent from Order, appended in the
+// taxonomy's canonical (numeric) order. Artefacts rendered with a
+// stale Order slice — one predating an outcome class, like the PR 6
+// degradation classes — must surface the unknown classes instead of
+// silently dropping their counts.
+func (d *Distribution) classes() []core.Outcome {
+	known := make(map[core.Outcome]bool, len(d.Order))
+	for _, o := range d.Order {
+		known[o] = true
+	}
+	var extra []core.Outcome
+	for o := range d.Counts {
+		if !known[o] {
+			extra = append(extra, o)
+		}
+	}
+	if len(extra) == 0 {
+		return d.Order
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(append(make([]core.Outcome, 0, len(d.Order)+len(extra)), d.Order...), extra...)
+}
+
 // Total returns the total number of classified runs.
 func (d *Distribution) Total() int {
 	n := 0
@@ -49,7 +73,7 @@ func (d *Distribution) Percent(o core.Outcome) float64 {
 func (d *Distribution) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (n=%d)\n", d.Label, d.Total())
-	for _, o := range d.Order {
+	for _, o := range d.classes() {
 		fmt.Fprintf(&b, "  %-22s %4d  %6.1f%%\n", o, d.Counts[o], d.Percent(o))
 	}
 	return b.String()
@@ -63,7 +87,7 @@ func (d *Distribution) Bars(width int) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (n=%d)\n", d.Label, d.Total())
-	for _, o := range d.Order {
+	for _, o := range d.classes() {
 		pct := d.Percent(o)
 		fill := int(pct / 100 * float64(width))
 		if d.Counts[o] > 0 && fill == 0 {
@@ -78,7 +102,7 @@ func (d *Distribution) Bars(width int) string {
 func (d *Distribution) CSV() string {
 	var b strings.Builder
 	b.WriteString("outcome,count,percent\n")
-	for _, o := range d.Order {
+	for _, o := range d.classes() {
 		fmt.Fprintf(&b, "%s,%d,%.2f\n", o, d.Counts[o], d.Percent(o))
 	}
 	return b.String()

@@ -118,3 +118,46 @@ func TestInjectionSummary(t *testing.T) {
 		t.Fatalf("summary = %q", out)
 	}
 }
+
+// TestRenderersSurfaceUnknownClasses pins the stale-Order fix: a
+// distribution whose Counts hold outcome classes absent from Order
+// (e.g. an artefact rendered by code predating a taxonomy extension)
+// must append those classes — in canonical numeric order — instead of
+// silently dropping their counts from every renderer.
+func TestRenderersSurfaceUnknownClasses(t *testing.T) {
+	d := &Distribution{
+		Label: "stale-order",
+		Counts: map[core.Outcome]int{
+			core.OutcomeCorrect:      5,
+			core.OutcomePanicPark:    2,
+			core.OutcomeInconsistent: 1,
+		},
+		// Order predates panic-park and inconsistent.
+		Order: []core.Outcome{core.OutcomeCorrect},
+	}
+	for name, render := range map[string]func() string{
+		"Table":       d.Table,
+		"Bars":        func() string { return d.Bars(20) },
+		"CSV":         d.CSV,
+		"TableWithCI": d.TableWithCI,
+	} {
+		out := render()
+		for _, o := range []core.Outcome{core.OutcomeCorrect, core.OutcomeInconsistent, core.OutcomePanicPark} {
+			if !strings.Contains(out, o.String()) {
+				t.Fatalf("%s dropped class %s:\n%s", name, o, out)
+			}
+		}
+		// Unknown classes append after Order, in numeric taxonomy order:
+		// inconsistent before panic-park.
+		if strings.Index(out, core.OutcomeInconsistent.String()) > strings.Index(out, core.OutcomePanicPark.String()) {
+			t.Fatalf("%s did not append unknown classes in canonical order:\n%s", name, out)
+		}
+		if strings.Index(out, core.OutcomeCorrect.String()) > strings.Index(out, core.OutcomeInconsistent.String()) {
+			t.Fatalf("%s put unknown classes before Order:\n%s", name, out)
+		}
+	}
+	// And the totals include the hidden classes.
+	if d.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", d.Total())
+	}
+}

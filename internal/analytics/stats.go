@@ -48,7 +48,7 @@ func (d *Distribution) TableWithCI() string {
 	var b strings.Builder
 	n := d.Total()
 	fmt.Fprintf(&b, "%s (n=%d, 95%% Wilson CI)\n", d.Label, n)
-	for _, o := range d.Order {
+	for _, o := range d.classes() {
 		lo, hi := Wilson(d.Counts[o], n, Z95)
 		fmt.Fprintf(&b, "  %-22s %4d  %6.1f%%  [%5.1f%%, %5.1f%%]\n",
 			o, d.Counts[o], d.Percent(o), 100*lo, 100*hi)

@@ -57,6 +57,12 @@ type CampaignResult struct {
 	// update them.
 	Runs []*RunResult
 
+	// Stop records the certified-prefix decision of an adaptive
+	// campaign: the aggregate covers exactly runs [0, Stop.DecidedAt) of
+	// the master seed chain. Nil for fixed-N campaigns and for adaptive
+	// campaigns cancelled before a decision was reached.
+	Stop *StopDecision
+
 	byClass    map[Outcome]int
 	total      int
 	injections int
@@ -198,6 +204,24 @@ type Campaign struct {
 	// (results must never differ from the warm paths; the differential
 	// determinism suite enforces exactly that).
 	ColdBuild bool
+	// Stop, when non-nil, makes the campaign adaptive. Classified runs
+	// are committed in strict global-index order (a reorder buffer holds
+	// out-of-order worker completions); the policy observes each
+	// committed run, and the first observation that returns true ends
+	// the campaign — runs with higher indices are discarded even when
+	// already executed. OnRun is then invoked in index order, only for
+	// committed runs, so a streamed artefact of a stopped campaign is
+	// byte-identical to a truncation of the full campaign's canonical
+	// artefact. CampaignResult.Stop records the decision. Runs acts as
+	// the max-N guard: an adaptive campaign never exceeds it.
+	Stop StopPolicy
+	// Stratify rotates runs across the register-class strata of the
+	// plan's field set (StratifyPlan): run with global index g draws its
+	// injection fields from stratum g mod 3. The stratum assignment is a
+	// pure function of the global index, so stratified campaigns shard,
+	// resume and early-stop exactly like uniform ones. Stratification is
+	// campaign identity — dist specs and manifests carry it.
+	Stratify bool
 }
 
 // Execute runs the campaign. ctx cancellation stops scheduling new runs
@@ -237,6 +261,19 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 		seeds[i] = sim.SplitMix64(&state)
 	}
 
+	planFor := func(int) *TestPlan { return c.Plan }
+	if c.Stratify {
+		strata, err := StratifyPlan(c.Plan)
+		if err != nil {
+			return nil, err
+		}
+		planFor = func(idx int) *TestPlan { return strata[(c.Offset+idx)%len(strata)] }
+	}
+
+	if c.Stop != nil {
+		return c.executeAdaptive(ctx, n, workers, seeds, planFor)
+	}
+
 	retain := c.Mode == ModeFull
 	var (
 		results []*RunResult // ModeFull: per-index, preserves seed order
@@ -271,7 +308,7 @@ func (c *Campaign) Execute(ctx context.Context) (*CampaignResult, error) {
 				ro.Scratch = NewRunScratch()
 			}
 			for idx := range work {
-				r, err := RunExperimentOpts(c.Plan, seeds[idx], ro)
+				r, err := RunExperimentOpts(planFor(idx), seeds[idx], ro)
 				if err != nil {
 					errs[idx] = err
 					continue
@@ -327,6 +364,122 @@ feed:
 			return nil, fmt.Errorf("core: campaign cancelled before any run completed: %w", cerr)
 		}
 		return nil, fmt.Errorf("core: campaign produced no runs")
+	}
+	return agg, nil
+}
+
+// executeAdaptive is the Stop-policy execution path: workers still race
+// over the run indices, but classified runs are committed — OnRun,
+// aggregation, policy observation — in strict global-index order
+// through a reorder buffer. The stop decision is therefore a pure
+// function of the seed-chain prefix: a stopped campaign's committed
+// runs are bit-identical to the first K runs of the full campaign, no
+// matter how many workers raced or in what order they finished.
+func (c *Campaign) executeAdaptive(ctx context.Context, n, workers int, seeds []uint64, planFor func(int) *TestPlan) (*CampaignResult, error) {
+	retain := c.Mode == ModeFull
+	c.Stop.Reset()
+
+	type completion struct {
+		idx int
+		r   *RunResult
+		err error
+	}
+	var (
+		wg       sync.WaitGroup
+		work     = make(chan int)
+		finished = make(chan completion, workers)
+		stopFeed = make(chan struct{})
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ro := RunOptions{
+				Mode:             c.Mode,
+				CaptureTraceHash: c.OnRun != nil,
+			}
+			switch {
+			case c.ColdBuild:
+				// fresh build per run
+			case c.Pool != nil:
+				ro.Pool = c.Pool
+			default:
+				ro.Scratch = NewRunScratch()
+			}
+			for idx := range work {
+				r, err := RunExperimentOpts(planFor(idx), seeds[idx], ro)
+				finished <- completion{idx, r, err}
+			}
+		}()
+	}
+	go func() {
+		defer close(work)
+		for i := 0; i < n; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stopFeed:
+				return
+			case work <- i:
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(finished) }()
+
+	agg := &CampaignResult{Plan: c.Plan.Name}
+	pending := make(map[int]completion, workers)
+	next := 0    // next index to commit; committed prefix is [0, next)
+	stopAt := -1 // committed prefix length at the stop decision
+	var fatal error
+	for done := range finished {
+		if stopAt >= 0 || fatal != nil {
+			continue // decision made or campaign doomed: drain the workers
+		}
+		pending[done.idx] = done
+		for {
+			e, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if e.err != nil {
+				fatal = fmt.Errorf("run %d (seed %#x): %w", c.Offset+next, seeds[next], e.err)
+				close(stopFeed)
+				break
+			}
+			if c.OnRun != nil {
+				c.OnRun(c.Offset+next, e.r)
+			}
+			agg.addRun(e.r, retain)
+			fired := c.Stop.Observe(c.Offset+next, e.r.Outcome())
+			next++
+			if fired {
+				stopAt = next
+				close(stopFeed)
+				break
+			}
+		}
+	}
+	if fatal != nil {
+		return nil, fatal
+	}
+	if agg.total == 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: campaign cancelled before any run completed: %w", cerr)
+		}
+		return nil, fmt.Errorf("core: campaign produced no runs")
+	}
+	switch {
+	case stopAt >= 0:
+		agg.Stop = &StopDecision{DecidedAt: c.Offset + stopAt, Fired: stopAt < n}
+	case next == n:
+		// Max-N guard: the chain ran out before the target was met. The
+		// whole window is the certified prefix.
+		agg.Stop = &StopDecision{DecidedAt: c.Offset + n, Fired: false}
+	default:
+		// Cancelled before a decision: the committed prefix [0, next) is
+		// a resumable remnant, not a certified stop — leave Stop nil so
+		// callers (dist.ExecuteShard) treat the artefact as incomplete.
 	}
 	return agg, nil
 }

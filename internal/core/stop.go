@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/certify/internal/armv7"
+)
+
+// StopPolicyCIWidth is the registered adaptive stop policy: halt when
+// every tracked outcome class's confidence interval is narrower than
+// the target width. The implementation lives in internal/analytics
+// (analytics.NewStopPolicy); core only names the seam so specs and
+// manifests can carry the identity without an import cycle.
+const StopPolicyCIWidth = "ci-width"
+
+// Stop-spec interval kinds. Clopper-Pearson is the default: the exact
+// interval never under-covers, which is the conservative choice for a
+// stopping rule that prunes certification evidence.
+const (
+	IntervalClopperPearson = "clopper-pearson"
+	IntervalWilson         = "wilson"
+)
+
+// StopSpec is the serializable identity of an adaptive stop policy.
+// It travels in dist specs and shard manifests exactly like the fault
+// model does: two campaigns whose stop specs differ are different
+// campaigns — their artefacts must never merge and the result cache
+// must never answer one with the other, because the stopped prefix
+// they certify differs.
+//
+// The target width is stored in basis points of the [0,1] proportion
+// scale (500 = 5 percentage points) so the identity is an integer —
+// float formatting can never make two equal policies encode
+// differently.
+type StopSpec struct {
+	// Policy names the stop rule; StopPolicyCIWidth is the only
+	// registered one.
+	Policy string `json:"policy"`
+	// WidthBP is the target full CI width in basis points (1..10000).
+	WidthBP int `json:"width_bp"`
+	// Interval selects the CI construction ("" = clopper-pearson).
+	Interval string `json:"interval,omitempty"`
+	// MinRuns forbids stopping before this many runs were observed.
+	MinRuns int `json:"min_runs,omitempty"`
+	// CheckEvery evaluates the stop condition every k-th run (0 = 1).
+	CheckEvery int `json:"check_every,omitempty"`
+}
+
+// Validate checks the spec and normalises its defaults in place
+// (Interval, CheckEvery), so every validated spec of the same policy
+// encodes to identical JSON — the byte-stability the manifest identity
+// block needs.
+func (s *StopSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Policy != StopPolicyCIWidth {
+		return fmt.Errorf("core: unknown stop policy %q (want %s)", s.Policy, StopPolicyCIWidth)
+	}
+	if s.WidthBP <= 0 || s.WidthBP > 10000 {
+		return fmt.Errorf("core: stop target width %d basis points out of range (0, 10000]", s.WidthBP)
+	}
+	switch s.Interval {
+	case "":
+		s.Interval = IntervalClopperPearson
+	case IntervalClopperPearson, IntervalWilson:
+	default:
+		return fmt.Errorf("core: unknown stop interval %q (want %s or %s)", s.Interval, IntervalClopperPearson, IntervalWilson)
+	}
+	if s.MinRuns < 0 {
+		return fmt.Errorf("core: stop min-runs %d is negative", s.MinRuns)
+	}
+	if s.CheckEvery < 0 {
+		return fmt.Errorf("core: stop check-every %d is negative", s.CheckEvery)
+	}
+	if s.CheckEvery == 0 {
+		s.CheckEvery = 1
+	}
+	return nil
+}
+
+// Identity renders the spec as its canonical identity string — the
+// form campaign-identity comparisons (manifest matches, spec
+// SameCampaign, the serve cache key) use. Nil means "fixed-N campaign"
+// and renders empty. The string is filesystem-safe: the serve cache
+// embeds it in entry directory names.
+func (s *StopSpec) Identity() string {
+	if s == nil {
+		return ""
+	}
+	interval := s.Interval
+	if interval == "" {
+		interval = IntervalClopperPearson
+	}
+	every := s.CheckEvery
+	if every <= 0 {
+		every = 1
+	}
+	return fmt.Sprintf("%s_%s_w%d_m%d_e%d", s.Policy, interval, s.WidthBP, s.MinRuns, every)
+}
+
+// Clone returns a deep copy (StopSpec has no reference fields, so a
+// value copy suffices; the method keeps call sites honest about
+// aliasing a spec that Validate may normalise in place).
+func (s *StopSpec) Clone() *StopSpec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	return &c
+}
+
+// StopPolicy is the campaign driver's adaptive-stop seam. The policy
+// observes classified runs in strict global-index order starting at
+// index 0 and reports, after each, whether the campaign may halt: a
+// true return after observing index i certifies the prefix [0, i+1).
+//
+// Implementations must be pure functions of the observed outcome
+// prefix — no clocks, no randomness, no external state — because the
+// same decision is replayed at merge time over shard artefacts and
+// must land on the same index. Reset returns the policy to its initial
+// state; the campaign driver and the merge replay both call it before
+// the first observation.
+type StopPolicy interface {
+	Reset()
+	Observe(index int, o Outcome) bool
+}
+
+// StopDecision records where an adaptive campaign's certified prefix
+// ends. DecidedAt is the prefix length K: the campaign's evidence is
+// exactly runs [0, K) of the master seed chain. Fired reports whether
+// the policy halted the campaign before its max-N guard (K < Runs);
+// a campaign that reached N with the target unmet has Fired == false
+// and DecidedAt == N.
+type StopDecision struct {
+	DecidedAt int
+	Fired     bool
+}
+
+// stratumControl is the third register-class stratum: the control-flow
+// registers plus r12 (the intra-procedure scratch register), so the
+// three strata together cover the paper's full 16-register set.
+var stratumControl = append([]armv7.Field{armv7.Field(armv7.RegR12)}, ControlFields...)
+
+// StratifyPlan partitions the plan's injection space into the
+// register-class strata an adaptive campaign rotates over: argument
+// registers (r0-r3), callee-saved registers (r4-r11) and control-flow
+// registers (r12, sp, lr, pc). Run i of a stratified campaign draws
+// its injection fields from stratum i mod 3 — a pure function of the
+// global run index, so stratified campaigns shard, stop and replay
+// exactly like uniform ones.
+//
+// Only plans over the full register file stratify; a plan that already
+// restricts Fields has chosen its own stratum and is refused.
+func StratifyPlan(p *TestPlan) ([]*TestPlan, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: no plan to stratify")
+	}
+	if len(p.Fields) != 0 && !sameFields(p.Fields, GPRFields) {
+		return nil, fmt.Errorf("core: plan %s restricts its field set to %d registers — stratification needs the full register file", p.Name, len(p.Fields))
+	}
+	strata := [][]armv7.Field{ArgFields, CalleeSavedFields, stratumControl}
+	out := make([]*TestPlan, len(strata))
+	for i, fs := range strata {
+		v := *p
+		v.Fields = fs
+		out[i] = &v
+	}
+	return out, nil
+}

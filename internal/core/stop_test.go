@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/dessertlab/certify/internal/armv7"
+	"github.com/dessertlab/certify/internal/sim"
+)
+
+// shortFig3 shortens the Figure-3 plan so an adaptive-driver test run
+// costs a fraction of the paper's minute.
+func shortFig3() *TestPlan {
+	p := *PlanE3Fig3()
+	p.Duration = 5 * sim.Second
+	p.Name = "E3-stop"
+	return &p
+}
+
+// countStop is a trivial pure StopPolicy for driver tests: fire after
+// exactly k observations. Implemented here because core cannot import
+// the real CI policy (internal/analytics) without a cycle.
+type countStop struct{ k, n int }
+
+func (p *countStop) Reset() { p.n = 0 }
+func (p *countStop) Observe(index int, o Outcome) bool {
+	p.n++
+	return p.n >= p.k
+}
+
+// collectHashes runs a campaign and returns per-index trace hashes and
+// outcomes as the streaming hook saw them, plus the hook's call order.
+func collectHashes(t *testing.T, c *Campaign) (*CampaignResult, map[int]uint64, map[int]Outcome, []int) {
+	t.Helper()
+	var mu sync.Mutex
+	hashes := make(map[int]uint64)
+	outcomes := make(map[int]Outcome)
+	var order []int
+	c.OnRun = func(index int, r *RunResult) {
+		mu.Lock()
+		hashes[index] = r.TraceHash
+		outcomes[index] = r.Outcome()
+		order = append(order, index)
+		mu.Unlock()
+	}
+	res, err := c.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, hashes, outcomes, order
+}
+
+// TestAdaptiveCampaignIsCertifiedPrefix is the core of the adaptive
+// engine's contract: a stopped campaign is bit-identical to the first K
+// runs of the full campaign — same trace hashes, same outcomes, same
+// aggregate — with the streaming hook called exactly once per certified
+// index, in strict index order, regardless of worker parallelism.
+func TestAdaptiveCampaignIsCertifiedPrefix(t *testing.T) {
+	plan := shortFig3()
+	const n, k = 12, 5
+	full, fullHashes, fullOutcomes, _ := collectHashes(t, &Campaign{
+		Plan: plan, Runs: n, MasterSeed: 2022, Workers: 1,
+	})
+	if full.Stop != nil {
+		t.Fatal("fixed-N campaign must not carry a stop decision")
+	}
+
+	adaptive := &Campaign{
+		Plan: plan, Runs: n, MasterSeed: 2022, Workers: 4,
+		Stop: &countStop{k: k},
+	}
+	res, hashes, outcomes, order := collectHashes(t, adaptive)
+	if res.Stop == nil || !res.Stop.Fired || res.Stop.DecidedAt != k {
+		t.Fatalf("stop decision = %+v, want fired at %d", res.Stop, k)
+	}
+	if res.Total() != k {
+		t.Fatalf("aggregate holds %d runs, want the %d-run certified prefix", res.Total(), k)
+	}
+	if len(order) != k {
+		t.Fatalf("OnRun called %d times, want %d", len(order), k)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("OnRun call %d delivered index %d — adaptive commits must be in index order", i, idx)
+		}
+		if hashes[i] != fullHashes[i] {
+			t.Fatalf("run %d: adaptive trace hash %#x != full campaign %#x", i, hashes[i], fullHashes[i])
+		}
+		if outcomes[i] != fullOutcomes[i] {
+			t.Fatalf("run %d: adaptive outcome %s != full campaign %s", i, outcomes[i], fullOutcomes[i])
+		}
+	}
+	// The aggregate equals a refold of the full campaign's first K runs.
+	for _, o := range AllOutcomes() {
+		want := 0
+		for i := 0; i < k; i++ {
+			if fullOutcomes[i] == o {
+				want++
+			}
+		}
+		if res.Count(o) != want {
+			t.Fatalf("%s: adaptive count %d, prefix refold %d", o, res.Count(o), want)
+		}
+	}
+}
+
+// TestAdaptiveCampaignMaxNGuard: a policy that never fires runs the
+// full N and records a not-fired decision at N — distinguishable from
+// both a fixed-N campaign (nil) and a genuine stop.
+func TestAdaptiveCampaignMaxNGuard(t *testing.T) {
+	plan := shortFig3()
+	const n = 6
+	fixed, fixedHashes, _, _ := collectHashes(t, &Campaign{Plan: plan, Runs: n, MasterSeed: 7, Workers: 1})
+	res, hashes, _, _ := collectHashes(t, &Campaign{
+		Plan: plan, Runs: n, MasterSeed: 7, Workers: 3,
+		Stop: &countStop{k: n + 1000},
+	})
+	if res.Stop == nil || res.Stop.Fired || res.Stop.DecidedAt != n {
+		t.Fatalf("stop decision = %+v, want not-fired at %d", res.Stop, n)
+	}
+	if res.Total() != fixed.Total() {
+		t.Fatalf("guard campaign ran %d, fixed ran %d", res.Total(), fixed.Total())
+	}
+	for i := 0; i < n; i++ {
+		if hashes[i] != fixedHashes[i] {
+			t.Fatalf("run %d: guard hash %#x != fixed %#x", i, hashes[i], fixedHashes[i])
+		}
+	}
+	// A policy that fires exactly at N: every run executed, yet the
+	// decision records Fired — the prefix [0, N) is certified by the
+	// policy, not the guard.
+	res, _, _, _ = collectHashes(t, &Campaign{
+		Plan: plan, Runs: n, MasterSeed: 7, Workers: 3,
+		Stop: &countStop{k: n},
+	})
+	if res.Stop == nil || res.Stop.Fired || res.Stop.DecidedAt != n {
+		t.Fatalf("exact-N decision = %+v, want not-fired at %d (records == window convention)", res.Stop, n)
+	}
+}
+
+func TestStratifyPlanPartition(t *testing.T) {
+	strata, err := StratifyPlan(shortFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 3 {
+		t.Fatalf("got %d strata, want 3", len(strata))
+	}
+	// The strata partition the full 16-register file exactly.
+	seen := make(map[armv7.Field]int)
+	for _, s := range strata {
+		for _, f := range s.Fields {
+			seen[f]++
+		}
+	}
+	if len(seen) != len(GPRFields) {
+		t.Fatalf("strata cover %d fields, want %d", len(seen), len(GPRFields))
+	}
+	for _, f := range GPRFields {
+		if seen[f] != 1 {
+			t.Fatalf("field %d appears %d times across strata, want exactly once", f, seen[f])
+		}
+	}
+	// A plan that already restricts its fields has chosen its stratum.
+	restricted := shortFig3()
+	restricted.Fields = ArgFields
+	if _, err := StratifyPlan(restricted); err == nil {
+		t.Fatal("restricted plan stratified")
+	}
+	if _, err := StratifyPlan(nil); err == nil {
+		t.Fatal("nil plan stratified")
+	}
+}
+
+// TestStratifiedCampaignShardInvariance: stratum selection is a pure
+// function of the global run index (i mod 3), so every injection in run
+// i draws from stratum i mod 3, and a stratified campaign split at an
+// arbitrary offset reproduces the serial runs bit for bit — the
+// property that lets stratified campaigns shard and stop like uniform
+// ones. Uses the full paper-duration plan so injections actually land.
+func TestStratifiedCampaignShardInvariance(t *testing.T) {
+	plan := PlanE3Fig3()
+	const n, cut = 9, 4
+	strata, err := StratifyPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inStratum := make([]map[armv7.Field]bool, len(strata))
+	for si, s := range strata {
+		inStratum[si] = make(map[armv7.Field]bool)
+		for _, f := range s.Fields {
+			inStratum[si][f] = true
+		}
+	}
+
+	var mu sync.Mutex
+	serial := make(map[int]uint64)
+	fields := make(map[int][]armv7.Field)
+	c := &Campaign{Plan: plan, Runs: n, MasterSeed: 2022, Workers: 1, Stratify: true}
+	c.OnRun = func(index int, r *RunResult) {
+		mu.Lock()
+		serial[index] = r.TraceHash
+		for _, inj := range r.Injections {
+			fields[index] = append(fields[index], inj.Fields...)
+		}
+		mu.Unlock()
+	}
+	if _, err := c.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(fields[i])
+		for _, f := range fields[i] {
+			if !inStratum[i%len(strata)][f] {
+				t.Fatalf("run %d injected field %d outside stratum %d", i, f, i%len(strata))
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no injections landed — stratification unexercised")
+	}
+
+	lo, loHashes, _, _ := collectHashes(t, &Campaign{
+		Plan: plan, Runs: cut, MasterSeed: 2022, Workers: 2, Stratify: true,
+	})
+	hi, hiHashes, _, _ := collectHashes(t, &Campaign{
+		Plan: plan, Runs: n - cut, MasterSeed: 2022, Offset: cut, Workers: 2, Stratify: true,
+	})
+	if lo.Total()+hi.Total() != n {
+		t.Fatalf("split ran %d+%d runs, want %d", lo.Total(), hi.Total(), n)
+	}
+	for i := 0; i < cut; i++ {
+		if loHashes[i] != serial[i] {
+			t.Fatalf("run %d: low shard hash %#x != serial %#x", i, loHashes[i], serial[i])
+		}
+	}
+	for i := cut; i < n; i++ {
+		if hiHashes[i] != serial[i] {
+			t.Fatalf("run %d: high shard hash %#x != serial %#x", i, hiHashes[i], serial[i])
+		}
+	}
+}
+
+func TestStopSpecValidateIdentityClone(t *testing.T) {
+	var nilSpec *StopSpec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatal("nil spec (fixed-N) must validate")
+	}
+	if nilSpec.Identity() != "" {
+		t.Fatalf("nil identity = %q, want empty", nilSpec.Identity())
+	}
+	if nilSpec.Clone() != nil {
+		t.Fatal("nil clone must stay nil")
+	}
+	s := &StopSpec{Policy: StopPolicyCIWidth, WidthBP: 500}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval != IntervalClopperPearson || s.CheckEvery != 1 {
+		t.Fatalf("Validate did not normalise defaults: %+v", s)
+	}
+	if got := s.Identity(); got != "ci-width_clopper-pearson_w500_m0_e1" {
+		t.Fatalf("identity = %q", got)
+	}
+	// Identity is stable whether or not Validate normalised the spec.
+	raw := &StopSpec{Policy: StopPolicyCIWidth, WidthBP: 500}
+	if raw.Identity() != s.Identity() {
+		t.Fatalf("raw identity %q != validated %q", raw.Identity(), s.Identity())
+	}
+	c := s.Clone()
+	c.WidthBP = 100
+	if s.WidthBP != 500 {
+		t.Fatal("clone aliases the original")
+	}
+	for name, bad := range map[string]*StopSpec{
+		"unknown policy":   {Policy: "by-vibes", WidthBP: 100},
+		"zero width":       {Policy: StopPolicyCIWidth, WidthBP: 0},
+		"width over 100%":  {Policy: StopPolicyCIWidth, WidthBP: 10001},
+		"unknown interval": {Policy: StopPolicyCIWidth, WidthBP: 100, Interval: "gaussian"},
+		"negative min":     {Policy: StopPolicyCIWidth, WidthBP: 100, MinRuns: -1},
+		"negative every":   {Policy: StopPolicyCIWidth, WidthBP: 100, CheckEvery: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

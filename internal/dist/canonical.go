@@ -53,7 +53,9 @@ func WriteCanonical(w io.Writer, d *Dossier) error {
 		}
 		res.AddSample(o, e.Injections, sim.Time(e.DetectionNS))
 	}
-	if err := writeJSONLine(bw, summaryFor(res)); err != nil {
+	s := summaryFor(res)
+	stampStop(&s, d.Manifest(), len(d.Entries()))
+	if err := writeJSONLine(bw, s); err != nil {
 		return err
 	}
 	return bw.Flush()

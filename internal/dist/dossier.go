@@ -110,9 +110,18 @@ func (d *Dossier) Indexed() bool { return d.indexed }
 
 // Complete reports whether the artefact holds its summary marker and
 // one record for every run of its window — the same completion
-// predicate ReadShard applies.
+// predicate ReadShard applies. Shards run under a stop policy may
+// finish short of their window (the policy certified a shorter
+// prefix): any non-empty record prefix with a summary is a finished
+// shard, and the merge's policy replay validates where it ended.
 func (d *Dossier) Complete() bool {
-	return d.summary && len(d.entries) == d.man.End-d.man.Start
+	if !d.summary {
+		return false
+	}
+	if d.man.Stop != nil {
+		return len(d.entries) > 0 && len(d.entries) <= d.man.End-d.man.Start
+	}
+	return len(d.entries) == d.man.End-d.man.Start
 }
 
 // NumRuns returns how many run records the dossier holds.

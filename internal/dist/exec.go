@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/core"
 )
 
@@ -81,6 +82,18 @@ func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPa
 		}
 	})
 	c.Pool = pool
+	// Only the shard that owns index 0 runs the stop policy live: the
+	// decision is a function of the outcome prefix from index 0, which
+	// no other shard can observe. The other shards run their full
+	// window; Merge replays the policy over the union and truncates to
+	// the certified prefix.
+	if spec.Stop != nil && sh.Start == 0 {
+		policy, perr := analytics.NewStopPolicy(spec.Stop)
+		if perr != nil {
+			return nil, false, perr
+		}
+		c.Stop = policy
+	}
 	res, err = c.Execute(ctx)
 	if werr := w.Err(); werr != nil {
 		return nil, false, fmt.Errorf("dist: shard %d artefact write to %s: %w", index, outPath, werr)
@@ -88,7 +101,11 @@ func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPa
 	if err != nil {
 		return nil, false, err
 	}
-	if res.Total() != sh.Runs() {
+	wantRuns := sh.Runs()
+	if res != nil && res.Stop != nil && res.Stop.Fired {
+		wantRuns = res.Stop.DecidedAt - sh.Start
+	}
+	if res.Total() != wantRuns {
 		// The file is left without a summary so the next invocation reruns
 		// it. A cancellation (server job abort, supervisor shutdown) is
 		// reported as such — errors.Is(err, context.Canceled) holds and the
@@ -96,10 +113,10 @@ func ExecuteShardPool(ctx context.Context, spec *Spec, index, workers int, outPa
 		// killed worker's.
 		if cerr := ctx.Err(); cerr != nil {
 			return res, false, fmt.Errorf("dist: shard %d cancelled after %d of %d runs — artefact left resumable at %s: %w",
-				index, res.Total(), sh.Runs(), outPath, cerr)
+				index, res.Total(), wantRuns, outPath, cerr)
 		}
 		return res, false, fmt.Errorf("dist: shard %d completed %d of %d runs — artefact left incomplete for rerun",
-			index, res.Total(), sh.Runs())
+			index, res.Total(), wantRuns)
 	}
 	if err := w.WriteSummary(res); err != nil {
 		return nil, false, err

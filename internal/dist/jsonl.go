@@ -49,6 +49,20 @@ type Manifest struct {
 	// Omitted (and read back as "") by pre-registry writers; "" and
 	// "register" are the same identity, so old artefacts stay mergeable.
 	FaultModel string `json:"fault_model,omitempty"`
+
+	// Stop is the adaptive stop policy the campaign runs under, nil for
+	// fixed-N campaigns. Like the fault model it is campaign identity:
+	// two artefacts whose stop specs differ certify different prefixes
+	// and must never merge or answer for each other in the result cache.
+	// Absent in pre-adaptive artefacts (read back as nil = fixed-N), so
+	// old files stay mergeable and fixed-N manifests byte-identical.
+	Stop *core.StopSpec `json:"stop,omitempty"`
+
+	// Stratify records that runs rotate over register-class strata
+	// (core.StratifyPlan): run i injects into stratum i mod 3. Campaign
+	// identity for the same reason — a stratified run sequence is a
+	// different experiment than a uniform one.
+	Stratify bool `json:"stratify,omitempty"`
 }
 
 // faultModelID normalises the manifest's fault-model identity: absent
@@ -67,7 +81,8 @@ func (m Manifest) matches(o Manifest) bool {
 		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
 		m.Shards == o.Shards && m.Shard == o.Shard &&
 		m.Start == o.Start && m.End == o.End && m.Mode == o.Mode &&
-		m.faultModelID() == o.faultModelID()
+		m.faultModelID() == o.faultModelID() &&
+		m.Stop.Identity() == o.Stop.Identity() && m.Stratify == o.Stratify
 }
 
 // diff names the fields where m and o disagree, for error messages that
@@ -89,6 +104,8 @@ func (m Manifest) diff(o Manifest) string {
 	add("window end", m.End, o.End)
 	add("mode", m.Mode, o.Mode)
 	add("fault model", m.faultModelID(), o.faultModelID())
+	add("stop policy", m.Stop.Identity(), o.Stop.Identity())
+	add("stratify", m.Stratify, o.Stratify)
 	if len(parts) == 0 {
 		return "identical manifests"
 	}
@@ -101,7 +118,8 @@ func (m Manifest) sameCampaign(o Manifest) bool {
 	return m.Schema == o.Schema && m.PlanHash == o.PlanHash &&
 		m.MasterSeed == o.MasterSeed && m.Runs == o.Runs &&
 		m.Shards == o.Shards && m.Mode == o.Mode &&
-		m.faultModelID() == o.faultModelID()
+		m.faultModelID() == o.faultModelID() &&
+		m.Stop.Identity() == o.Stop.Identity() && m.Stratify == o.Stratify
 }
 
 // campaignDiff names the campaign-identity fields where m and o disagree
@@ -121,6 +139,8 @@ func (m Manifest) campaignDiff(o Manifest) string {
 	add("shards", m.Shards, o.Shards)
 	add("mode", m.Mode, o.Mode)
 	add("fault model", m.faultModelID(), o.faultModelID())
+	add("stop policy", m.Stop.Identity(), o.Stop.Identity())
+	add("stratify", m.Stratify, o.Stratify)
 	return strings.Join(parts, ", ")
 }
 
@@ -153,6 +173,32 @@ type Summary struct {
 	Distribution map[string]int `json:"distribution"`
 	Injections   int            `json:"injections_total"`
 	MeanDetectNS int64          `json:"mean_detection_latency_ns"`
+
+	// DecidedAt / StopFired record the adaptive stop decision for shards
+	// run under a stop policy (manifest Stop != nil): the shard's
+	// certified prefix ends at global index DecidedAt, and StopFired
+	// says the policy halted before the shard's window end. Both are
+	// pure functions of the manifest window and the record count
+	// (stampStop), so a canonical rewrite reproduces them byte-for-byte.
+	// Omitted for fixed-N shards, keeping their footers byte-identical
+	// to the pre-adaptive format.
+	DecidedAt int  `json:"decided_at,omitempty"`
+	StopFired bool `json:"stop_fired,omitempty"`
+}
+
+// stampStop derives the summary's stop-decision fields from the
+// manifest window and the number of run records the artefact holds.
+// DecidedAt = Start + records; StopFired means the policy fired inside
+// the window (records < window) — a shard whose target was only met
+// exactly at the window end counts as not-fired, the same convention
+// core.Campaign uses, so the stamp never disagrees with the in-memory
+// decision. Fixed-N artefacts (m.Stop == nil) are left unstamped.
+func stampStop(s *Summary, m Manifest, records int) {
+	if m.Stop == nil {
+		return
+	}
+	s.DecidedAt = m.Start + records
+	s.StopFired = records < m.End-m.Start
 }
 
 // DefaultFlushInterval is the batching window CreateJSONL installs: run
@@ -188,6 +234,10 @@ type JSONLWriter struct {
 	file *os.File      // nil when wrapping a caller-owned io.Writer
 	err  error         // first write error; OnRun cannot return one
 	runs int
+	man  Manifest // header, kept for the summary's stop stamp
+	// haveMan guards man: a writer used without WriteManifest (tests,
+	// ad-hoc streams) must not stamp from a zero manifest.
+	haveMan bool
 
 	// lineCount meters the uncompressed line stream (the encoder's
 	// output), giving every record its byte offset for the index footer.
@@ -372,6 +422,7 @@ func (jw *JSONLWriter) timedFlush() {
 func (jw *JSONLWriter) WriteManifest(m Manifest) error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	jw.man, jw.haveMan = m, true
 	if err := jw.writeLine(m); err != nil {
 		return err
 	}
@@ -443,6 +494,9 @@ func (jw *JSONLWriter) WriteSummary(res *core.CampaignResult) error {
 	s := summaryFor(res)
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
+	if jw.haveMan {
+		stampStop(&s, jw.man, jw.runs)
+	}
 	if err := jw.writeLine(s); err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 
+	"github.com/dessertlab/certify/internal/analytics"
 	"github.com/dessertlab/certify/internal/core"
 	"github.com/dessertlab/certify/internal/sim"
 )
@@ -88,6 +89,19 @@ type ShardFile struct {
 	// TraceHashes maps global run index → trace hash, the per-run
 	// reproducibility fingerprints the invariance checks compare.
 	TraceHashes map[int]uint64
+	// Samples maps global run index → the per-run aggregate sample, kept
+	// only for adaptive shards (manifest Stop != nil): the merge replays
+	// the stop policy over the globally index-ordered outcome sequence,
+	// which the order-free Result aggregate cannot provide.
+	Samples map[int]Sample
+}
+
+// Sample is one run's contribution to the campaign aggregate, keyed by
+// global index so the merge can refold runs in seed-chain order.
+type Sample struct {
+	Outcome     core.Outcome
+	Injections  int
+	DetectionNS int64
 }
 
 // parseOutcome maps a taxonomy name back to the classifier's outcome.
@@ -158,6 +172,9 @@ func ReadShard(path string) (*ShardFile, error) {
 		Result:      &core.CampaignResult{Plan: m.Plan},
 		TraceHashes: make(map[int]uint64, m.End-m.Start),
 	}
+	if m.Stop != nil {
+		sf.Samples = make(map[int]Sample, m.End-m.Start)
+	}
 	var summary *Summary
 	seen := make(map[int]bool, m.End-m.Start)
 	line := 1
@@ -198,6 +215,9 @@ func ReadShard(path string) (*ShardFile, error) {
 			}
 			sf.Result.AddSample(o, rec.Injections, sim.Time(rec.DetectionNS))
 			sf.TraceHashes[rec.Index] = hash
+			if sf.Samples != nil {
+				sf.Samples[rec.Index] = Sample{Outcome: o, Injections: rec.Injections, DetectionNS: rec.DetectionNS}
+			}
 			sf.Records++
 		case recordSummary:
 			var s Summary
@@ -219,12 +239,30 @@ func ReadShard(path string) (*ShardFile, error) {
 	}
 
 	sf.HasSummary = summary != nil
-	sf.Complete = summary != nil && summaryConfirms(summary, sf) &&
-		sf.Records == m.End-m.Start
+	if m.Stop != nil {
+		// Adaptive shard: the summary footer is still the completion
+		// marker, but the record count may legitimately stop short of the
+		// window — the stop policy certified a shorter prefix. Any
+		// non-empty prefix whose footer stamp agrees with the records is
+		// a finished shard; whether it stopped at the RIGHT index is the
+		// merge replay's check, which has the global outcome sequence
+		// this single file does not.
+		sf.Complete = summary != nil && summaryConfirms(summary, sf) &&
+			sf.Records > 0 && sf.Records <= m.End-m.Start
+		if sf.Complete {
+			sf.Result.Stop = &core.StopDecision{DecidedAt: summary.DecidedAt, Fired: summary.StopFired}
+		}
+	} else {
+		sf.Complete = summary != nil && summaryConfirms(summary, sf) &&
+			sf.Records == m.End-m.Start
+	}
 	return sf, nil
 }
 
-// summaryConfirms cross-checks the footer against the folded records.
+// summaryConfirms cross-checks the footer against the folded records,
+// including the adaptive stop stamp: a footer claiming a decision index
+// other than the one its own record count implies (stampStop) is
+// inconsistent.
 func summaryConfirms(s *Summary, sf *ShardFile) bool {
 	if s.Runs != sf.Result.Total() || s.Injections != sf.Result.InjectionsTotal() {
 		return false
@@ -234,7 +272,9 @@ func summaryConfirms(s *Summary, sf *ShardFile) bool {
 			return false
 		}
 	}
-	return true
+	var want Summary
+	stampStop(&want, sf.Manifest, sf.Records)
+	return s.DecidedAt == want.DecidedAt && s.StopFired == want.StopFired
 }
 
 // Merge reads every shard artefact, verifies the set is one complete,
@@ -305,9 +345,63 @@ func Merge(paths []string) (*core.CampaignResult, []*ShardFile, error) {
 		return nil, shards, fmt.Errorf("dist: shard windows end at %d, campaign has %d runs", next, ref.Runs)
 	}
 
+	if ref.Stop != nil {
+		return mergeAdaptive(ref, shards)
+	}
+
 	merged := &core.CampaignResult{Plan: ref.Plan}
 	for _, sf := range shards {
 		merged.MergeFrom(sf.Result)
 	}
+	return merged, shards, nil
+}
+
+// mergeAdaptive assembles an adaptive campaign: it replays the stop
+// policy over the shards' samples in strict global-index order — the
+// exact observation sequence the live campaign's ordered commit fed it
+// — and folds only the certified prefix [0, K) into the merged result.
+// Purity of the policy guarantees the replay lands on the same K the
+// live decision did; the replay also audits the artefacts, refusing a
+// shard that stopped anywhere other than the replayed decision index.
+// shards are sorted by window start and verified to tile [0, ref.Runs).
+func mergeAdaptive(ref Manifest, shards []*ShardFile) (*core.CampaignResult, []*ShardFile, error) {
+	policy, err := analytics.NewStopPolicy(ref.Stop)
+	if err != nil {
+		return nil, shards, err
+	}
+	policy.Reset()
+	merged := &core.CampaignResult{Plan: ref.Plan}
+	decided, fired := ref.Runs, false
+	si := 0
+	for i := 0; i < ref.Runs && !fired; i++ {
+		for shards[si].Manifest.End <= i {
+			si++
+		}
+		sf := shards[si]
+		s, ok := sf.Samples[i]
+		if !ok {
+			return nil, shards, fmt.Errorf(
+				"dist: %s holds no record for run %d, but the stop policy (%s) has not fired by then — shard stopped early or artefact tampered: %w",
+				sf.Path, i, ref.Stop.Identity(), ErrCampaignMismatch)
+		}
+		merged.AddSample(s.Outcome, s.Injections, sim.Time(s.DetectionNS))
+		if policy.Observe(i, s.Outcome) {
+			decided, fired = i+1, true
+		}
+	}
+	// Every shard that recorded fewer runs than its window claims the
+	// policy stopped it — which is only consistent if it stopped exactly
+	// at the replayed decision index.
+	for _, sf := range shards {
+		if sf.Records == sf.Manifest.End-sf.Manifest.Start {
+			continue
+		}
+		if !fired || sf.Manifest.Start+sf.Records != decided {
+			return nil, shards, fmt.Errorf(
+				"dist: %s stopped after %d of %d runs but the stop policy (%s) decides at index %d: %w",
+				sf.Path, sf.Records, sf.Manifest.End-sf.Manifest.Start, ref.Stop.Identity(), decided, ErrCampaignMismatch)
+		}
+	}
+	merged.Stop = &core.StopDecision{DecidedAt: decided, Fired: fired}
 	return merged, shards, nil
 }

@@ -34,6 +34,15 @@ type Spec struct {
 	Shards int
 	// Mode selects per-run evidence retention inside each shard process.
 	Mode core.CampaignMode
+	// Stop, when non-nil, runs the campaign adaptively: Runs becomes the
+	// max-N guard and the policy may certify a shorter prefix. Part of
+	// campaign identity (like the fault model): it travels in every
+	// shard manifest and the merge refuses artefacts whose stop identity
+	// differs.
+	Stop *core.StopSpec
+	// Stratify rotates runs over the register-class strata
+	// (core.StratifyPlan). Campaign identity as well.
+	Stratify bool
 }
 
 // Validate checks the spec describes a runnable sharded campaign.
@@ -52,6 +61,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Shards > s.Runs {
 		return fmt.Errorf("dist: %d shards for %d runs — at most one shard per run", s.Shards, s.Runs)
+	}
+	if err := s.Stop.Validate(); err != nil {
+		return err
+	}
+	if s.Stratify {
+		if _, err := core.StratifyPlan(s.Plan); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -109,6 +126,11 @@ func (s *Spec) AllShards() ([]Shard, error) {
 // window of the master seed chain. onRun is the streaming artefact hook
 // (typically JSONLWriter.OnRun); it may be nil. workers ≤ 0 uses
 // GOMAXPROCS inside the shard process.
+// The campaign carries the spec's stratification but NOT its stop
+// policy: the policy implementation lives in internal/analytics, which
+// dist's executor wires in explicitly (ExecuteShardPool) for the shard
+// that owns index 0 — only that shard can observe the prefix the
+// decision is a function of.
 func (sh Shard) Campaign(workers int, onRun func(int, *core.RunResult)) *core.Campaign {
 	return &core.Campaign{
 		Plan:       sh.Spec.Plan,
@@ -118,6 +140,7 @@ func (sh Shard) Campaign(workers int, onRun func(int, *core.RunResult)) *core.Ca
 		Mode:       sh.Spec.Mode,
 		Offset:     sh.Start,
 		OnRun:      onRun,
+		Stratify:   sh.Spec.Stratify,
 	}
 }
 
@@ -146,6 +169,8 @@ func (sh Shard) Manifest() Manifest {
 		End:        sh.End,
 		Mode:       sh.Spec.Mode.String(),
 		FaultModel: manifestFaultModel(sh.Spec.Plan),
+		Stop:       sh.Spec.Stop.Clone(),
+		Stratify:   sh.Spec.Stratify,
 	}
 }
 

@@ -25,6 +25,10 @@ type specJSON struct {
 	MasterSeed string `json:"master_seed"` // hex
 	Shards     int    `json:"shards"`
 	Mode       string `json:"mode"`
+	// Stop / Stratify mirror Spec: campaign identity, omitted when
+	// absent so fixed-N spec files stay byte-identical to older writers.
+	Stop     *core.StopSpec `json:"stop,omitempty"`
+	Stratify bool           `json:"stratify,omitempty"`
 }
 
 // EncodeSpec writes the spec as JSON.
@@ -42,6 +46,8 @@ func EncodeSpec(w io.Writer, s *Spec) error {
 		MasterSeed: fmt.Sprintf("%#x", s.MasterSeed),
 		Shards:     s.Shards,
 		Mode:       s.Mode.String(),
+		Stop:       s.Stop.Clone(),
+		Stratify:   s.Stratify,
 	})
 }
 
@@ -72,7 +78,7 @@ func DecodeSpec(r io.Reader) (*Spec, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Spec{Plan: plan, Runs: sj.Runs, MasterSeed: seed, Shards: sj.Shards, Mode: mode}
+	s := &Spec{Plan: plan, Runs: sj.Runs, MasterSeed: seed, Shards: sj.Shards, Mode: mode, Stop: sj.Stop, Stratify: sj.Stratify}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,5 +124,6 @@ func (s *Spec) SameCampaign(o *Spec) bool {
 	return s != nil && o != nil &&
 		s.Plan.Hash() == o.Plan.Hash() &&
 		s.Runs == o.Runs && s.MasterSeed == o.MasterSeed &&
-		s.Shards == o.Shards && s.Mode == o.Mode
+		s.Shards == o.Shards && s.Mode == o.Mode &&
+		s.Stop.Identity() == o.Stop.Identity() && s.Stratify == o.Stratify
 }

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestAdaptiveSubmissionCachedByteIdentical: an adaptively-stopped
+// campaign is a first-class cache citizen. The stopped artefact is
+// stored and replayed byte-identically on resubmission — the certified
+// prefix is deterministic, so serving it from the store is sound — and
+// the stop target is part of the cache identity: the same campaign at a
+// different CI width (or at fixed N) is a different key and executes
+// fresh.
+func TestAdaptiveSubmissionCachedByteIdentical(t *testing.T) {
+	_, c := newTestServer(t, Config{SkipGoldenCheck: true, WorkersPerJob: 2})
+	req := &SubmitRequest{PlanFile: shortPlanText, Runs: 18, Seed: 2022, CIWidth: 60}
+
+	status, v1 := rawSubmit(t, c.Base, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("first adaptive submit status = %d, want 202", status)
+	}
+	v1done := waitTerminal(t, c, v1.ID)
+	if v1done.State != StateCompleted || v1done.Cached {
+		t.Fatalf("first job = %s cached=%v (%s), want completed fresh", v1done.State, v1done.Cached, v1done.Error)
+	}
+	ran := 0
+	for _, n := range v1done.Distribution {
+		ran += n
+	}
+	if ran >= 18 || ran == 0 {
+		t.Fatalf("adaptive campaign ran %d of 18 runs — the 60pp target should stop it early", ran)
+	}
+	var art1 bytes.Buffer
+	if err := c.Artefact(context.Background(), &art1, v1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	status, v2 := rawSubmit(t, c.Base, req)
+	if status != http.StatusOK || !v2.Cached || v2.State != StateCompleted {
+		t.Fatalf("identical adaptive resubmit: status %d cached=%v state=%s, want 200 cache hit", status, v2.Cached, v2.State)
+	}
+	var art2 bytes.Buffer
+	if err := c.Artefact(context.Background(), &art2, v2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(art1.Bytes(), art2.Bytes()) {
+		t.Fatal("cached adaptive artefact is not byte-identical to the fresh execution's")
+	}
+
+	// A tighter CI target is a different experiment: cache miss.
+	narrower := *req
+	narrower.CIWidth = 50
+	status, v3 := rawSubmit(t, c.Base, &narrower)
+	if status != http.StatusAccepted {
+		t.Fatalf("different ci-width submit status = %d, want 202 (cache miss)", status)
+	}
+	if v3done := waitTerminal(t, c, v3.ID); v3done.State != StateCompleted || v3done.Cached {
+		t.Fatalf("narrower job = %s cached=%v, want fresh execution", v3done.State, v3done.Cached)
+	}
+
+	// So is the fixed-N campaign over the same plan and window.
+	fixed := *req
+	fixed.CIWidth = 0
+	if status, _ := rawSubmit(t, c.Base, &fixed); status != http.StatusAccepted {
+		t.Fatalf("fixed-N submit status = %d, want 202 (cache miss)", status)
+	}
+}
+
+// TestAdaptiveSubmitValidation pins the request-shape rules of the
+// adaptive fields: the max-N guard needs a CI target, Runs and MaxRuns
+// are mutually exclusive spellings of the same bound, and MinRuns
+// without a stop target is meaningless.
+func TestAdaptiveSubmitValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{SkipGoldenCheck: true, MaxRuns: 50})
+	for name, req := range map[string]*SubmitRequest{
+		"max-runs without ci-width": {PlanFile: shortPlanText, MaxRuns: 10},
+		"max-runs conflicts runs":   {PlanFile: shortPlanText, Runs: 10, MaxRuns: 12, CIWidth: 50},
+		"min-runs without ci-width": {PlanFile: shortPlanText, Runs: 10, MinRuns: 4},
+		"negative ci-width":         {PlanFile: shortPlanText, Runs: 10, CIWidth: -5},
+	} {
+		_, err := c.Submit(context.Background(), req)
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Class != ClassUsage {
+			t.Fatalf("%s: err = %v, want APIError class usage", name, err)
+		}
+	}
+	// MaxRuns alone (with a CI target) is the canonical adaptive spelling.
+	v, err := c.Submit(context.Background(), &SubmitRequest{PlanFile: shortPlanText, MaxRuns: 18, CIWidth: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitTerminal(t, c, v.ID); done.State != StateCompleted {
+		t.Fatalf("max-runs submission = %s (%s), want completed", done.State, done.Error)
+	}
+}

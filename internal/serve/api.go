@@ -62,6 +62,20 @@ type SubmitRequest struct {
 	Seed Seed `json:"seed"`
 	// Mode is "full" or "distribution" (the default).
 	Mode string `json:"mode,omitempty"`
+	// CIWidth, when positive, runs the campaign adaptively: stop once
+	// every outcome class's 95% confidence interval is narrower than
+	// this many percentage points (5 = stop at ±2.5pp), with Runs as the
+	// max-N guard. Part of campaign identity — same plan and seed with a
+	// different width is a different cache entry.
+	CIWidth float64 `json:"ci_width,omitempty"`
+	// MinRuns forbids the adaptive stop before this many runs.
+	MinRuns int `json:"min_runs,omitempty"`
+	// MaxRuns is the adaptive max-N guard: it overrides Runs as the
+	// campaign size (requires CIWidth). Runs may then be omitted.
+	MaxRuns int `json:"max_runs,omitempty"`
+	// Stratify rotates runs over register-class strata (full-GPR plans
+	// only). Campaign identity as well.
+	Stratify bool `json:"stratify,omitempty"`
 }
 
 // JobView is the API rendering of one job — returned by submit, job

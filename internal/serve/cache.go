@@ -36,8 +36,20 @@ func newCache(dir string) (*cache, error) {
 // its fault-model selection.) Collisions cannot misattribute results
 // even in theory: a hit additionally requires the stored manifest to
 // match the requested shard's.
+// Adaptive campaigns append their stop-policy identity (and stratify
+// marker) as extra suffix segments: a request that adds, removes or
+// retargets a stop policy certifies a different prefix, so it must
+// address a different entry. Fixed-N keys are unchanged — existing
+// cache stores keep answering.
 func cacheKey(spec *dist.Spec) string {
-	return fmt.Sprintf("%016x-%016x-%d-%s", spec.Plan.Hash(), spec.MasterSeed, spec.Runs, spec.Mode)
+	key := fmt.Sprintf("%016x-%016x-%d-%s", spec.Plan.Hash(), spec.MasterSeed, spec.Runs, spec.Mode)
+	if spec.Stop != nil {
+		key += "-" + spec.Stop.Identity()
+	}
+	if spec.Stratify {
+		key += "-stratified"
+	}
+	return key
 }
 
 func (c *cache) entryDir(key string) string     { return filepath.Join(c.dir, key) }

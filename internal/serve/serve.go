@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -456,11 +457,21 @@ func (s *Server) buildSpec(req *SubmitRequest) (*dist.Spec, error) {
 		}
 		plan.FaultName = req.Fault
 	}
-	if req.Runs <= 0 {
-		return nil, usage("runs must be positive, got %d", req.Runs)
+	runs := req.Runs
+	if req.MaxRuns != 0 {
+		if req.CIWidth <= 0 {
+			return nil, usage("max_runs is the adaptive stop's guard and needs ci_width")
+		}
+		if runs != 0 && runs != req.MaxRuns {
+			return nil, usage("give either runs or max_runs, not conflicting values of both")
+		}
+		runs = req.MaxRuns
 	}
-	if req.Runs > s.cfg.MaxRuns {
-		return nil, usage("runs %d exceeds this server's limit of %d", req.Runs, s.cfg.MaxRuns)
+	if runs <= 0 {
+		return nil, usage("runs must be positive, got %d", runs)
+	}
+	if runs > s.cfg.MaxRuns {
+		return nil, usage("runs %d exceeds this server's limit of %d", runs, s.cfg.MaxRuns)
 	}
 	mode := core.ModeDistribution
 	if req.Mode != "" {
@@ -472,10 +483,23 @@ func (s *Server) buildSpec(req *SubmitRequest) (*dist.Spec, error) {
 	}
 	spec := &dist.Spec{
 		Plan:       plan,
-		Runs:       req.Runs,
+		Runs:       runs,
 		MasterSeed: uint64(req.Seed),
 		Shards:     1,
 		Mode:       mode,
+		Stratify:   req.Stratify,
+	}
+	if req.CIWidth < 0 {
+		return nil, usage("ci_width must be non-negative, got %v", req.CIWidth)
+	}
+	if req.CIWidth > 0 {
+		spec.Stop = &core.StopSpec{
+			Policy:  core.StopPolicyCIWidth,
+			WidthBP: int(math.Round(req.CIWidth * 100)),
+			MinRuns: req.MinRuns,
+		}
+	} else if req.MinRuns != 0 {
+		return nil, usage("min_runs needs ci_width")
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, usage("%v", err)

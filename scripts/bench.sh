@@ -33,6 +33,11 @@
 #                                    # off (BenchmarkObsOverhead) next to the
 #                                    # BenchmarkCampaignThroughput anchor —
 #                                    # the two rows must stay within 3%
+#   scripts/bench.sh adaptive        # CI-driven early stop: the Figure-3
+#                                    # campaign under a 5pp Clopper-Pearson
+#                                    # width target vs its 4000-run max-N
+#                                    # guard (BenchmarkAdaptiveCampaign,
+#                                    # runs_saved_pct is the ≥30% bar)
 #   scripts/bench.sh soak            # not a benchmark: a quick soak gate —
 #                                    # short FuzzFaultInjection sweep plus a
 #                                    # -race -short pass over the fault-model
@@ -79,6 +84,8 @@ elif [ "$PATTERN" = "serve" ]; then
     PATTERN='ServerCachedRequest'
 elif [ "$PATTERN" = "obs" ]; then
     PATTERN='ObsOverhead|CampaignThroughput'
+elif [ "$PATTERN" = "adaptive" ]; then
+    PATTERN='AdaptiveCampaign'
 fi
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y%m%d).json}"
@@ -106,7 +113,9 @@ fi
 # event-stream tailers). internal/obs is the flight recorder: sharded
 # counters, CAS-folded histogram sums and vec child creation are all
 # written to be invoked from every worker goroutine at once.
-go test -race -short ./internal/fanout ./internal/dist ./internal/core ./internal/serve ./internal/obs
+# internal/analytics holds the adaptive stop policy (Clopper-Pearson
+# intervals, sequential estimator) whose decisions shard workers replay.
+go test -race -short ./internal/fanout ./internal/dist ./internal/core ./internal/serve ./internal/obs ./internal/analytics
 
 echo "== benchmarks (pattern: $PATTERN, benchtime: $BENCHTIME) =="
 RAW="$(mktemp)"

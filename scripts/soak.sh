@@ -32,6 +32,9 @@ echo "== race pass: fault models + graceful degradation =="
 go test -race -short ./internal/core \
     -run 'TestSoakFaultModels|TestClassifyGracefulDegradation|TestGracefulRunsAreDeterministic|TestFaultModelRegistryContents|TestFaultNamePlanFileRoundTrip|TestRegisterFactoryMatchesIntensityModel'
 
+echo "== race pass: adaptive stop statistics =="
+go test -race -short ./internal/analytics
+
 echo "== soak: ${SOAK_RUNS} runs x 4 models x 3 experiments =="
 CERTIFY_SOAK_RUNS="$SOAK_RUNS" CERTIFY_SOAK_SEED="$SOAK_SEED" \
     go test ./internal/core -run 'TestSoakFaultModels' -v 2>&1 | grep -E 'soak:|ok|FAIL|---'
